@@ -1,0 +1,1 @@
+bin/nlh_campaign.ml: Arg Format Hyper Inject Int64 List Printf Recovery Sim String Workloads

@@ -1,0 +1,1 @@
+bin/nlh_campaign.mli:

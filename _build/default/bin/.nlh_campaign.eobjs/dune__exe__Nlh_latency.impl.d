@@ -1,0 +1,1 @@
+bin/nlh_latency.ml: Arg Array Format Hw Hyper Recovery Sim

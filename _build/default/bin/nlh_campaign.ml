@@ -1,0 +1,108 @@
+(* Campaign CLI: run fault-injection campaigns against the simulated
+   virtualization platform from the command line. *)
+
+let run_campaign ~mech ~fault ~setup ~n ~seed ~label =
+  let mechanism, enh, hv_config =
+    match mech with
+    | `Nilihype ->
+      ( Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set),
+        Recovery.Enhancement.full_set,
+        Hyper.Config.nilihype )
+    | `Rehype ->
+      ( Inject.Run.Mech (Recovery.Engine.Rehype, Recovery.Enhancement.full_set),
+        Recovery.Enhancement.full_set,
+        Hyper.Config.rehype )
+    | `None -> (Inject.Run.No_recovery, Recovery.Enhancement.full_set, Hyper.Config.stock)
+  in
+  ignore enh;
+  let cfg =
+    {
+      Inject.Run.default_config with
+      Inject.Run.fault;
+      setup;
+      mech = mechanism;
+      hv_config;
+    }
+  in
+  let result = Inject.Campaign.run ~label ~base_seed:seed ~n cfg in
+  Format.printf "%a" Inject.Campaign.pp result;
+  (match Inject.Campaign.mean_latency result with
+  | Some l -> Format.printf "mean recovery latency: %a@." Sim.Time.pp l
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Format.printf "  note: %s x%d@." k v)
+    result.Inject.Campaign.totals.Inject.Campaign.failure_notes
+
+let () =
+  let mech = ref `Nilihype in
+  let fault = ref Inject.Fault.Failstop in
+  let setup = ref Inject.Run.Three_appvm in
+  let n = ref 200 in
+  let seed = ref 10_000 in
+  let ladder = ref false in
+  let spec =
+    [
+      ( "--mech",
+        Arg.Symbol
+          ( [ "nilihype"; "rehype"; "none" ],
+            function
+            | "nilihype" -> mech := `Nilihype
+            | "rehype" -> mech := `Rehype
+            | _ -> mech := `None ),
+        " recovery mechanism" );
+      ( "--fault",
+        Arg.Symbol
+          ( [ "failstop"; "register"; "code" ],
+            function
+            | "failstop" -> fault := Inject.Fault.Failstop
+            | "register" -> fault := Inject.Fault.Register
+            | _ -> fault := Inject.Fault.Code ),
+        " fault type" );
+      ( "--setup",
+        Arg.Symbol
+          ( [ "1appvm"; "3appvm" ],
+            function
+            | "1appvm" -> setup := Inject.Run.One_appvm Workloads.Workload.Unixbench
+            | _ -> setup := Inject.Run.Three_appvm ),
+        " target system setup" );
+      ("--runs", Arg.Set_int n, " number of injection runs");
+      ("--seed", Arg.Set_int seed, " base seed");
+      ("--ladder", Arg.Set ladder, " run the Table I enhancement ladder");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "nlh_campaign [options]";
+  if !ladder then
+    List.iter
+      (fun (label, hv_config, enh) ->
+        let cfg =
+          {
+            Inject.Run.default_config with
+            Inject.Run.fault = Inject.Fault.Failstop;
+            setup = Inject.Run.One_appvm Workloads.Workload.Unixbench;
+            mech = Inject.Run.Mech (Recovery.Engine.Nilihype, enh);
+            hv_config;
+          }
+        in
+        let result =
+          Inject.Campaign.run ~label ~base_seed:(Int64.of_int !seed) ~n:!n cfg
+        in
+        Format.printf "%-50s success %a@." label Sim.Stats.pp_proportion
+          (Inject.Campaign.success_rate result);
+        List.iter
+          (fun (k, v) ->
+            let k = if String.length k > 90 then String.sub k 0 90 else k in
+            Format.printf "      %3dx %s@." v k)
+          (List.sort
+             (fun (_, a) (_, b) -> compare b a)
+             result.Inject.Campaign.totals.Inject.Campaign.failure_notes))
+      Recovery.Enhancement.table1_ladder
+  else
+    run_campaign ~mech:!mech ~fault:!fault ~setup:!setup ~n:!n
+      ~seed:(Int64.of_int !seed)
+      ~label:
+        (Printf.sprintf "%s/%s"
+           (match !mech with
+           | `Nilihype -> "NiLiHype"
+           | `Rehype -> "ReHype"
+           | `None -> "none")
+           (Inject.Fault.name !fault))

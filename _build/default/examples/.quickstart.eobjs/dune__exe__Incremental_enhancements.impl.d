@@ -1,0 +1,1 @@
+examples/incremental_enhancements.ml: Format Inject List Recovery Sim String Workloads

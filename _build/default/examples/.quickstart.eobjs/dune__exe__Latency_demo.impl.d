@@ -1,0 +1,1 @@
+examples/latency_demo.ml: Core Format Guest Hyper Recovery Sim

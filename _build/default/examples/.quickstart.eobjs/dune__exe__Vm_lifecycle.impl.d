@@ -1,0 +1,1 @@
+examples/vm_lifecycle.ml: Array Core Format Guest Hyper Sim Workloads

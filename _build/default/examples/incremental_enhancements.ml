@@ -1,0 +1,47 @@
+(* Incremental-enhancement walk-through: reproduce the measurement-driven
+   development of NiLiHype (Table I) at small scale, printing what each
+   enhancement repairs.
+
+     dune exec examples/incremental_enhancements.exe *)
+
+let () =
+  let n = 120 in
+  Format.printf
+    "Failstop faults, 1AppVM (UnixBench), %d injections per row:@.@." n;
+  List.iter
+    (fun (label, hv_config, enh) ->
+      let cfg =
+        {
+          Inject.Run.default_config with
+          Inject.Run.fault = Inject.Fault.Failstop;
+          setup = Inject.Run.One_appvm Workloads.Workload.Unixbench;
+          mech = Inject.Run.Mech (Recovery.Engine.Nilihype, enh);
+          hv_config;
+        }
+      in
+      let r = Inject.Campaign.run ~label ~base_seed:1234L ~n cfg in
+      Format.printf "%-52s %a@." label Sim.Stats.pp_proportion
+        (Inject.Campaign.success_rate r);
+      (* Show the dominant remaining failure causes for this row. *)
+      let top =
+        List.sort (fun (_, a) (_, b) -> compare b a)
+          r.Inject.Campaign.totals.Inject.Campaign.failure_notes
+      in
+      List.iteri
+        (fun i (why, count) ->
+          if i < 2 then begin
+            let why =
+              if String.length why > 72 then String.sub why 0 72 ^ "..." else why
+            in
+            Format.printf "    %2dx %s@." count why
+          end)
+        top)
+    Recovery.Enhancement.table1_ladder;
+  Format.printf
+    "@.Each enhancement mechanically repairs the failure class above it:@.";
+  Format.printf
+    "  clear IRQ count -> scheduling asserts; heap-lock release -> dead-lock \
+     spins;@.";
+  Format.printf
+    "  sched consistency -> stale current-vCPU records; timer reprogram -> \
+     silent CPUs.@."

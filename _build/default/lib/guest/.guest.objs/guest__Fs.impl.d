@@ -1,0 +1,1 @@
+lib/guest/fs.ml: Int64 List Printf

@@ -1,0 +1,1 @@
+lib/guest/kernel.ml: Array Fs Hyper List Netstack Printf Process

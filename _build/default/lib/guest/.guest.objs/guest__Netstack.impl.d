@@ -1,0 +1,1 @@
+lib/guest/netstack.ml: List Sim

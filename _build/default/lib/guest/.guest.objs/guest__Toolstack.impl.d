@@ -1,0 +1,1 @@
+lib/guest/toolstack.ml: Hyper List Sim

@@ -1,0 +1,127 @@
+(** Miniature guest file system with golden-copy verification.
+
+    BlkBench "creates, copies, reads, writes and removes multiple 1 MB
+    files containing random content" and the run is considered failed if
+    "one or more files produced by the benchmark are different from the
+    ones in a golden copy" (Section VI-A). Files here carry a content
+    digest; every mutation goes through the block layer so corruption
+    (silent or from lost I/O completions) shows up at verification. *)
+
+type file = {
+  name : string;
+  mutable digest : int64; (* rolling content digest *)
+  mutable size_kb : int;
+  mutable dirty : bool; (* has writes not yet flushed to "disk" *)
+}
+
+type t = {
+  mutable files : file list;
+  mutable ops : int;
+  mutable io_errors : int; (* failed block I/O seen by the guest *)
+  cache_enabled : bool;
+      (* BlkBench turns guest caching off so every op reaches the
+         hypervisor; with caching on, most ops never expose recovery
+         failures *)
+}
+
+let create ?(cache_enabled = false) () =
+  { files = []; ops = 0; io_errors = 0; cache_enabled }
+
+let digest_step digest byte =
+  Int64.add (Int64.mul digest 1000003L) (Int64.of_int byte)
+
+let content_digest ~seed ~size_kb =
+  let rec go d i = if i >= size_kb then d else go (digest_step d (i * seed mod 251)) (i + 1) in
+  go 1L 0
+
+let find t name = List.find_opt (fun f -> f.name = name) t.files
+
+let create_file t ~name ~seed ~size_kb =
+  t.ops <- t.ops + 1;
+  match find t name with
+  | Some _ -> Error `Exists
+  | None ->
+    let f = { name; digest = content_digest ~seed ~size_kb; size_kb; dirty = true } in
+    t.files <- f :: t.files;
+    Ok f
+
+let write t ~name ~seed =
+  t.ops <- t.ops + 1;
+  match find t name with
+  | None -> Error `Not_found
+  | Some f ->
+    f.digest <- digest_step f.digest (seed land 0xff);
+    f.dirty <- true;
+    Ok ()
+
+let copy t ~src ~dst =
+  t.ops <- t.ops + 1;
+  match find t src with
+  | None -> Error `Not_found
+  | Some s ->
+    (match find t dst with
+    | Some d ->
+      d.digest <- s.digest;
+      d.size_kb <- s.size_kb;
+      d.dirty <- true;
+      Ok ()
+    | None ->
+      t.files <-
+        { name = dst; digest = s.digest; size_kb = s.size_kb; dirty = true }
+        :: t.files;
+      Ok ())
+
+let read t ~name =
+  t.ops <- t.ops + 1;
+  match find t name with None -> Error `Not_found | Some f -> Ok f.digest
+
+let remove t ~name =
+  t.ops <- t.ops + 1;
+  match find t name with
+  | None -> Error `Not_found
+  | Some _ ->
+    t.files <- List.filter (fun f -> f.name <> name) t.files;
+    Ok ()
+
+(* Flush dirty files through the block device; a failed flush is a
+   visible I/O error. *)
+let flush t ~io_ok =
+  List.iter
+    (fun f ->
+      if f.dirty then begin
+        if io_ok then f.dirty <- false else t.io_errors <- t.io_errors + 1
+      end)
+    t.files
+
+(* Corrupt one file's content (what a guest-memory hit does). *)
+let corrupt_one t =
+  match t.files with
+  | [] -> false
+  | f :: _ ->
+    f.digest <- Int64.logxor f.digest 0x4242L;
+    true
+
+(* Golden-copy comparison: same file set, same digests, nothing left
+   unflushed, no I/O errors. *)
+type verdict = Match | Mismatch of string
+
+let compare_golden ~golden t =
+  if t.io_errors > 0 then Mismatch (Printf.sprintf "%d I/O errors" t.io_errors)
+  else begin
+    let sorted fs = List.sort (fun a b -> compare a.name b.name) fs.files in
+    let ga = sorted golden and ta = sorted t in
+    if List.length ga <> List.length ta then
+      Mismatch
+        (Printf.sprintf "file count %d vs %d" (List.length ga) (List.length ta))
+    else begin
+      let rec cmp = function
+        | [], [] -> Match
+        | g :: gs, f :: fs ->
+          if g.name <> f.name then Mismatch ("missing file " ^ g.name)
+          else if g.digest <> f.digest then Mismatch ("content differs: " ^ g.name)
+          else cmp (gs, fs)
+        | _ -> Mismatch "file count"
+      in
+      cmp (ga, ta)
+    end
+  end

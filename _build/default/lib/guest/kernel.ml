@@ -1,0 +1,64 @@
+(** Paravirtualized guest kernel model.
+
+    Binds a hypervisor [Domain.t] to guest-visible state: the process
+    table, the file system and the network stack. Recovery-time events
+    on the hypervisor side (lost hypercalls, clobbered FS/GS, guest
+    memory corruption) are translated into their guest-visible
+    consequences here, which is what the benchmark verification of
+    Section VI-A actually observes. *)
+
+type t = {
+  dom : Hyper.Domain.t;
+  mutable processes : Process.t list;
+  mutable next_pid : int;
+  fs : Fs.t;
+  golden : Fs.t; (* pristine copy for BlkBench verification *)
+  net : Netstack.t;
+  mutable kernel_oopsed : bool;
+}
+
+let create (dom : Hyper.Domain.t) =
+  {
+    dom;
+    processes = [];
+    next_pid = 1;
+    fs = Fs.create ();
+    golden = Fs.create ();
+    net = Netstack.create ();
+    kernel_oopsed = false;
+  }
+
+let spawn t ~name =
+  let p = Process.create ~pid:t.next_pid ~name in
+  t.next_pid <- t.next_pid + 1;
+  t.processes <- p :: t.processes;
+  p
+
+(* Populate both the live FS and the golden copy with the BlkBench file
+   set (identical initial content). *)
+let populate_blkbench_files t ~files ~size_kb =
+  for i = 1 to files do
+    let name = Printf.sprintf "file%02d" i in
+    ignore (Fs.create_file t.fs ~name ~seed:i ~size_kb);
+    ignore (Fs.create_file t.golden ~name ~seed:i ~size_kb)
+  done
+
+(* Reflect hypervisor-side recovery consequences into guest state. *)
+let apply_domain_flags t =
+  if t.dom.Hyper.Domain.guest_sdc then ignore (Fs.corrupt_one t.fs);
+  if t.dom.Hyper.Domain.guest_failed then begin
+    t.kernel_oopsed <- true;
+    List.iter Process.lose_syscall t.processes
+  end;
+  Array.iter
+    (fun (v : Hyper.Domain.vcpu) ->
+      if not v.Hyper.Domain.fsgs_valid then
+        List.iter Process.clobber_tls t.processes)
+    t.dom.Hyper.Domain.vcpus
+
+(* The benchmark verdict (Section VI-A): golden copy matches, no failed
+   system calls, no crashed/blocked processes, no kernel oops. *)
+let verify t =
+  let fs_ok = Fs.compare_golden ~golden:t.golden t.fs = Fs.Match in
+  let procs_ok = List.for_all Process.healthy t.processes in
+  fs_ok && procs_ok && (not t.kernel_oopsed) && not (Netstack.failed t.net)

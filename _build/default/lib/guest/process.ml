@@ -1,0 +1,66 @@
+(** Guest user processes.
+
+    On x86-64, system calls from guest processes trap into the hypervisor
+    and are forwarded to the guest kernel (the path the "syscall retry"
+    enhancement covers). A process whose in-flight system call is lost
+    blocks forever; a process resumed with clobbered FS/GS (thread-local
+    storage base) crashes. UnixBench/BlkBench count either as benchmark
+    failure. *)
+
+type state =
+  | Running
+  | In_syscall (* waiting for a forwarded system call to return *)
+  | Blocked_forever (* its system call was lost: never completes *)
+  | Crashed (* e.g. TLS base clobbered *)
+  | Exited of int
+
+type t = {
+  pid : int;
+  name : string;
+  mutable state : state;
+  mutable syscalls_issued : int;
+  mutable syscalls_completed : int;
+  mutable syscalls_failed : int;
+}
+
+let create ~pid ~name =
+  {
+    pid;
+    name;
+    state = Running;
+    syscalls_issued = 0;
+    syscalls_completed = 0;
+    syscalls_failed = 0;
+  }
+
+let issue_syscall t =
+  (match t.state with
+  | Running -> ()
+  | In_syscall | Blocked_forever | Crashed | Exited _ ->
+    invalid_arg "Process.issue_syscall: process not running");
+  t.state <- In_syscall;
+  t.syscalls_issued <- t.syscalls_issued + 1
+
+let complete_syscall ?(failed = false) t =
+  (match t.state with
+  | In_syscall -> ()
+  | Running | Blocked_forever | Crashed | Exited _ ->
+    invalid_arg "Process.complete_syscall: no syscall in flight");
+  if failed then t.syscalls_failed <- t.syscalls_failed + 1
+  else t.syscalls_completed <- t.syscalls_completed + 1;
+  t.state <- Running
+
+(* The forwarded call was abandoned by hypervisor recovery with no retry
+   arranged. *)
+let lose_syscall t = if t.state = In_syscall then t.state <- Blocked_forever
+
+(* FS/GS clobbered across recovery: thread-local storage is garbage. *)
+let clobber_tls t =
+  match t.state with
+  | Running | In_syscall -> t.state <- Crashed
+  | Blocked_forever | Crashed | Exited _ -> ()
+
+let healthy t =
+  match t.state with
+  | Running | In_syscall | Exited 0 -> t.syscalls_failed = 0
+  | Blocked_forever | Crashed | Exited _ -> false

@@ -1,0 +1,57 @@
+(** PrivVM toolstack: the management operations (create, pause, destroy
+    VMs) that the 3AppVM experiment uses to check that the hypervisor
+    "maintains its ability to create and host newly created VMs after
+    recovery" (Section VI-A). Every operation goes through real domctl
+    hypercalls on the simulated hypervisor. *)
+
+type t = {
+  hv : Hyper.Hypervisor.t;
+  rng : Sim.Rng.t;
+}
+
+let create hv ~rng = { hv; rng }
+
+let privvm_vcpu t =
+  let d = Hyper.Hypervisor.privvm t.hv in
+  Hyper.Domain.vcpu d 0
+
+(* Issue a domctl through the normal hypercall path (so it exercises the
+   domlist lock, the heap, the frame allocator and the scheduler). *)
+let domctl t kind =
+  let v = privvm_vcpu t in
+  Hyper.Hypervisor.execute t.hv t.rng
+    (Hyper.Hypervisor.Hypercall
+       { domid = v.Hyper.Domain.domid; vid = v.Hyper.Domain.vid; kind })
+
+type result = Created of Hyper.Domain.t | Failed of string
+
+(* Create a fresh AppVM; returns the new domain on success. *)
+let create_vm t =
+  let before =
+    List.map
+      (fun (d : Hyper.Domain.t) -> d.Hyper.Domain.domid)
+      (Hyper.Hypervisor.app_domains t.hv)
+  in
+  match domctl t Hyper.Hypercalls.Domctl_create_domain with
+  | () ->
+    let created =
+      List.find_opt
+        (fun (d : Hyper.Domain.t) ->
+          not (List.mem d.Hyper.Domain.domid before))
+        (Hyper.Hypervisor.app_domains t.hv)
+    in
+    (match created with
+    | Some d -> Created d
+    | None -> Failed "domctl completed but no new domain")
+  | exception Hyper.Crash.Hypervisor_crash d ->
+    Failed (Hyper.Crash.describe d)
+
+let destroy_vm t (_dom : Hyper.Domain.t) =
+  match domctl t Hyper.Hypercalls.Domctl_destroy_domain with
+  | () -> Ok ()
+  | exception Hyper.Crash.Hypervisor_crash d -> Error (Hyper.Crash.describe d)
+
+let pause_vm t =
+  match domctl t Hyper.Hypercalls.Domctl_pause_domain with
+  | () -> Ok ()
+  | exception Hyper.Crash.Hypervisor_crash d -> Error (Hyper.Crash.describe d)

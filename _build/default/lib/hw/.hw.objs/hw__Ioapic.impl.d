@@ -1,0 +1,1 @@
+lib/hw/ioapic.ml: Array List

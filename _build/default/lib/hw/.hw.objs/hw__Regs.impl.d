@@ -1,0 +1,1 @@
+lib/hw/regs.ml: Array Format Int64

@@ -1,0 +1,1 @@
+lib/hyper/config.ml:

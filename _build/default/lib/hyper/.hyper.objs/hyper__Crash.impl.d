@@ -1,0 +1,1 @@
+lib/hyper/crash.ml: Format Sim

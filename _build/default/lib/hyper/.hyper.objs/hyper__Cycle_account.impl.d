@@ -1,0 +1,1 @@
+lib/hyper/cycle_account.ml:

@@ -1,0 +1,1 @@
+lib/hyper/domain.ml: Array Crash Evtchn Grant Heap Hw Hypercalls List Printf Spinlock

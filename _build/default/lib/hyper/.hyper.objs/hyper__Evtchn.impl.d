@@ -1,0 +1,1 @@
+lib/hyper/evtchn.ml: Array Crash Heap Printf Spinlock

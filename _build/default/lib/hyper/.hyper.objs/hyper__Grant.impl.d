@@ -1,0 +1,1 @@
+lib/hyper/grant.ml: Array Crash Heap Printf Spinlock

@@ -1,0 +1,1 @@
+lib/hyper/heap.ml: Crash Hashtbl Spinlock

@@ -1,0 +1,1 @@
+lib/hyper/hypercalls.ml: Journal List Printf String

@@ -1,0 +1,1 @@
+lib/hyper/hypervisor.ml: Array Config Crash Cycle_account Domain Evtchn Format Fun Grant Hashtbl Heap Hw Hypercalls Journal List Percpu Pfn Printf Sched Sim Spinlock Timer_heap

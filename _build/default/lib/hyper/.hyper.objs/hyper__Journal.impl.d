@@ -1,0 +1,1 @@
+lib/hyper/journal.ml: List Pfn

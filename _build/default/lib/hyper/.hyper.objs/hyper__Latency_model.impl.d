@@ -1,0 +1,1 @@
+lib/hyper/latency_model.ml: Format List Sim Time

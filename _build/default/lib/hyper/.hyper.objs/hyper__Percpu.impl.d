@@ -1,0 +1,1 @@
+lib/hyper/percpu.ml: Crash Heap Printf Spinlock

@@ -1,0 +1,1 @@
+lib/hyper/pfn.ml: Array Crash

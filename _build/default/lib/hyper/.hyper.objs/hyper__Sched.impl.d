@@ -1,0 +1,1 @@
+lib/hyper/sched.ml: Array Crash Domain Hashtbl List Percpu

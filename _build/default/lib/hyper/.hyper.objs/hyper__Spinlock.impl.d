@@ -1,0 +1,1 @@
+lib/hyper/spinlock.ml: Crash List

@@ -1,0 +1,1 @@
+lib/hyper/timer_heap.ml: Array Crash List Sim

@@ -1,0 +1,50 @@
+(** Normal-operation feature flags.
+
+    These are the mechanisms that must already be active *before* a fault
+    for recovery to use them (Section IV of the paper). They cost cycles
+    during normal operation (Figure 3) and are what distinguishes the
+    stock hypervisor from the NiLiHype / ReHype builds. *)
+
+type t = {
+  nonidempotent_logging : bool;
+      (* undo-journal critical variable changes in non-idempotent
+         hypercalls; the dominant source of normal-operation overhead *)
+  code_reordering : bool;
+      (* move critical-variable updates to the end of hypercall handlers;
+         shrinks the retry vulnerability window at zero cycle cost *)
+  save_fs_gs : bool;
+      (* save FS/GS on hypervisor entry (x86-64 port fix) *)
+  hypercall_progress_tracking : bool;
+      (* log completion of each hypercall within a multicall batch so a
+         retry can skip completed components *)
+  ioapic_write_logging : bool;
+      (* ReHype only: log IO-APIC redirection writes so the reboot can
+         restore routing *)
+  bootline_logging : bool;
+      (* ReHype only: log boot command-line options for the re-boot *)
+}
+
+let stock =
+  {
+    nonidempotent_logging = false;
+    code_reordering = false;
+    save_fs_gs = false;
+    hypercall_progress_tracking = false;
+    ioapic_write_logging = false;
+    bootline_logging = false;
+  }
+
+let nilihype =
+  {
+    nonidempotent_logging = true;
+    code_reordering = true;
+    save_fs_gs = true;
+    hypercall_progress_tracking = true;
+    ioapic_write_logging = false;
+    bootline_logging = false;
+  }
+
+(* NiLiHype* in Figure 3: the logging turned off. *)
+let nilihype_no_logging = { nilihype with nonidempotent_logging = false }
+
+let rehype = { nilihype with ioapic_write_logging = true; bootline_logging = true }

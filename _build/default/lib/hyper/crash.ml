@@ -1,0 +1,32 @@
+(** Hypervisor failure signalling.
+
+    A [Panic] models a fatal hardware exception or failed software
+    assertion (detected immediately by Xen's built-in panic path). A
+    [Hang] models a CPU stuck in the hypervisor (spinning on a dead lock,
+    broken data structure loop); it is detected by the NMI watchdog after
+    roughly three 100 ms periods. *)
+
+type detection =
+  | Panic of string
+  | Hang of string
+
+exception Hypervisor_crash of detection
+
+let panic fmt = Format.kasprintf (fun s -> raise (Hypervisor_crash (Panic s))) fmt
+let hang fmt = Format.kasprintf (fun s -> raise (Hypervisor_crash (Hang s))) fmt
+
+(* Xen asserts liberally; failed assertions are panics. *)
+let hv_assert cond fmt =
+  Format.kasprintf
+    (fun s -> if not cond then raise (Hypervisor_crash (Panic ("ASSERT: " ^ s))))
+    fmt
+
+let detection_latency = function
+  | Panic _ -> Sim.Time.us 10
+  | Hang _ -> Sim.Time.ms 300 (* three 100ms watchdog periods *)
+
+let describe = function
+  | Panic s -> "panic: " ^ s
+  | Hang s -> "hang: " ^ s
+
+let pp fmt d = Format.pp_print_string fmt (describe d)

@@ -1,0 +1,108 @@
+(** Xen heap model.
+
+    Tracks live heap objects by kind (so the recovery mechanisms can walk
+    "all the locks stored in the heap") plus the integrity of the
+    allocator's free lists. Free-list corruption is the class of damage
+    that ReHype's "recreate the new heap" reboot step repairs but
+    NiLiHype cannot -- one source of ReHype's small recovery-rate edge. *)
+
+type kind =
+  | Lock of Spinlock.t
+  | Timer_data
+  | Domain_data of int (* domid *)
+  | Percpu_area of int (* cpu *)
+  | Generic
+
+type obj = {
+  oid : int;
+  kind : kind;
+  mutable live : bool;
+  mutable header_ok : bool; (* object header canary *)
+  size : int;
+}
+
+type t = {
+  mutable next_oid : int;
+  objs : (int, obj) Hashtbl.t;
+  mutable freelist_ok : bool;
+  mutable freelist_note : string;
+  mutable bytes_live : int;
+  mutable allocs : int;
+}
+
+let create () =
+  {
+    next_oid = 0;
+    objs = Hashtbl.create 256;
+    freelist_ok = true;
+    freelist_note = "";
+    bytes_live = 0;
+    allocs = 0;
+  }
+
+let alloc t ?(size = 64) kind =
+  if not t.freelist_ok then
+    Crash.hang "heap: free-list walk never terminates (%s)" t.freelist_note;
+  let obj = { oid = t.next_oid; kind; live = true; header_ok = true; size } in
+  t.next_oid <- t.next_oid + 1;
+  Hashtbl.replace t.objs obj.oid obj;
+  t.bytes_live <- t.bytes_live + size;
+  t.allocs <- t.allocs + 1;
+  obj
+
+let free t obj =
+  if not t.freelist_ok then
+    Crash.hang "heap: free-list insert never terminates (%s)" t.freelist_note;
+  if not obj.live then Crash.panic "heap: double free of object %d" obj.oid;
+  if not obj.header_ok then
+    Crash.panic "heap: corrupted object header on free (oid %d)" obj.oid;
+  obj.live <- false;
+  t.bytes_live <- t.bytes_live - obj.size;
+  Hashtbl.remove t.objs obj.oid
+
+let iter_live t f = Hashtbl.iter (fun _ obj -> if obj.live then f obj) t.objs
+
+let live_count t = Hashtbl.length t.objs
+let bytes_live t = t.bytes_live
+
+(* Corruption entry points used by the fault injector. *)
+let corrupt_freelist t note =
+  t.freelist_ok <- false;
+  t.freelist_note <- note
+
+let freelist_ok t = t.freelist_ok
+
+(* Release all heap-resident locks (the ReHype mechanism NiLiHype
+   reuses). Returns how many were released. *)
+let release_locks t =
+  let released = ref 0 in
+  iter_live t (fun obj ->
+      match obj.kind with
+      | Lock l when Spinlock.is_held l ->
+        Spinlock.force_unlock l;
+        incr released
+      | Lock _ | Timer_data | Domain_data _ | Percpu_area _ | Generic -> ());
+  !released
+
+let any_heap_lock_held t =
+  let held = ref false in
+  iter_live t (fun obj ->
+      match obj.kind with
+      | Lock l when Spinlock.is_held l -> held := true
+      | Lock _ | Timer_data | Domain_data _ | Percpu_area _ | Generic -> ());
+  !held
+
+(* ReHype's reboot-time heap reconstruction: a brand-new allocator is
+   built, then live (preserved) objects are re-integrated. This restores
+   free-list integrity and drops corrupted-but-dead metadata; it cannot
+   repair corruption inside live object payloads (e.g. a smashed domain
+   struct). *)
+let rebuild_for_reboot t =
+  t.freelist_ok <- true;
+  t.freelist_note <- "";
+  iter_live t (fun obj -> obj.header_ok <- true)
+
+let audit t =
+  let ok = ref t.freelist_ok in
+  iter_live t (fun obj -> if not obj.header_ok then ok := false);
+  !ok

@@ -1,0 +1,1060 @@
+(** The composite hypervisor and its request-processing paths.
+
+    Control enters the hypervisor through hypercalls, exceptions and
+    interrupts (Section III-A). Each entry is executed as a sequence of
+    named micro-steps over the real simulated structures; the fault
+    injector observes every step through [step_hook] and can corrupt
+    state or abandon the execution mid-flight, leaving exactly the
+    partial state a real fault leaves (held locks, half-done context
+    switches, disarmed APIC timers, partially executed hypercalls...). *)
+
+type activity =
+  | Timer_tick of int (* cpu *)
+  | Device_interrupt of { line : int; target_dom : int }
+  | Hypercall of { domid : int; vid : int; kind : Hypercalls.kind }
+  | Syscall_forward of { domid : int; vid : int }
+  | Context_switch of int (* cpu *)
+  | Idle_poll of int (* cpu *)
+
+let activity_name = function
+  | Timer_tick c -> Printf.sprintf "timer_tick(cpu%d)" c
+  | Device_interrupt { line; target_dom } ->
+    Printf.sprintf "dev_irq(line%d->d%d)" line target_dom
+  | Hypercall { domid; vid; kind } ->
+    Printf.sprintf "hypercall(d%dv%d,%s)" domid vid (Hypercalls.name kind)
+  | Syscall_forward { domid; vid } -> Printf.sprintf "syscall(d%dv%d)" domid vid
+  | Context_switch c -> Printf.sprintf "ctx_switch(cpu%d)" c
+  | Idle_poll c -> Printf.sprintf "idle(cpu%d)" c
+
+type step_ctx = {
+  activity : activity;
+  step_index : int;
+  step_name : string;
+  cpu : int;
+}
+
+(* Raised by [execute_partial]'s stepper to abandon an activity at a
+   given step, modelling work in flight on other CPUs at detection. *)
+exception Abandoned
+
+type t = {
+  machine : Hw.Machine.t;
+  clock : Sim.Clock.t;
+  mutable config : Config.t;
+  pfn : Pfn.t;
+  heap : Heap.t;
+  static_segment : Spinlock.Segment.t;
+  console_lock : Spinlock.t;
+  domlist_lock : Spinlock.t;
+  global_heap_lock : Spinlock.t;
+  percpu : Percpu.t array;
+  timers : Timer_heap.t;
+  sched : Sched.t;
+  domains : (int, Domain.t) Hashtbl.t;
+  cycles : Cycle_account.t;
+  trace : Sim.Trace.t;
+  watchdog_soft : int array; (* per-CPU software tick counters *)
+  mutable time_sync_count : int;
+  mutable next_domid : int;
+  mutable static_data_ok : bool; (* non-lock static segment integrity *)
+  mutable static_data_note : string;
+  mutable recovery_handler_ok : bool;
+  mutable bootline_ok : bool; (* boot options usable for a re-boot *)
+  mutable step_hook : (t -> step_ctx -> unit) option;
+  need_resched_flags : bool array;
+}
+
+let cpu_count t = Hw.Machine.num_cpus t.machine
+let frames t = Pfn.frames t.pfn
+let domain t domid = Hashtbl.find_opt t.domains domid
+
+let all_domains t =
+  Hashtbl.fold (fun _ d acc -> d :: acc) t.domains []
+  |> List.sort (fun a b -> compare a.Domain.domid b.Domain.domid)
+
+let app_domains t =
+  List.filter
+    (fun d -> (not d.Domain.privileged) && not d.Domain.is_idle)
+    (all_domains t)
+
+let all_vcpus t =
+  List.concat_map (fun d -> Array.to_list d.Domain.vcpus) (all_domains t)
+
+let privvm t =
+  match List.find_opt (fun d -> d.Domain.privileged) (all_domains t) with
+  | Some d -> d
+  | None -> Crash.panic "no PrivVM"
+
+(* The idle domain: one always-runnable vCPU per physical CPU, which the
+   scheduler switches to whenever a guest vCPU blocks or yields. Its
+   presence is what makes context switching -- and hence scheduling-
+   metadata vulnerability windows -- pervasive, as in Xen. *)
+let idle_domain t =
+  match List.find_opt (fun d -> d.Domain.is_idle) (all_domains t) with
+  | Some d -> d
+  | None -> Crash.panic "no idle domain"
+
+(* ------------------------------------------------------------------ *)
+(* Construction and boot                                               *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(mconfig = Hw.Machine.default_config) ~config clock =
+  let machine = Hw.Machine.create ~config:mconfig clock in
+  let heap = Heap.create () in
+  let static_segment = Spinlock.Segment.create () in
+  let static_lock name =
+    let l = Spinlock.create ~name ~location:Spinlock.Static in
+    Spinlock.Segment.register static_segment l;
+    l
+  in
+  let console_lock = static_lock "console" in
+  let domlist_lock = static_lock "domlist" in
+  let global_heap_lock = static_lock "heap" in
+  let num_cpus = Hw.Machine.num_cpus machine in
+  let t =
+    {
+      machine;
+      clock;
+      config;
+      pfn = Pfn.create ~frames:(Hw.Machine.num_frames machine);
+      heap;
+      static_segment;
+      console_lock;
+      domlist_lock;
+      global_heap_lock;
+      percpu = Array.init num_cpus (fun c -> Percpu.create heap c);
+      timers = Timer_heap.create ();
+      sched = Sched.create ~num_cpus;
+      domains = Hashtbl.create 8;
+      cycles = Cycle_account.create ();
+      trace = Sim.Trace.create ~capacity:1024 ~min_level:Sim.Trace.Warn ();
+      watchdog_soft = Array.make num_cpus 0;
+      time_sync_count = 0;
+      next_domid = 0;
+      static_data_ok = true;
+      static_data_note = "";
+      recovery_handler_ok = true;
+      bootline_ok = true;
+      step_hook = None;
+      need_resched_flags = Array.make num_cpus false;
+    }
+  in
+  Hw.Ioapic.set_logging machine.Hw.Machine.ioapic config.Config.ioapic_write_logging;
+  t
+
+let tracef t level fmt =
+  Format.kasprintf
+    (fun s -> Sim.Trace.record t.trace ~time:(Sim.Clock.now t.clock) level s)
+    fmt
+
+(* Standard recurring timer events plus APIC programming, performed at
+   boot and re-performed by ReHype's reboot. *)
+let register_recurring_events t =
+  let now = Sim.Clock.now t.clock in
+  ignore (Timer_heap.add t.timers ~deadline:(now + Sim.Time.ms 30) ~period:(Sim.Time.ms 30) Timer_heap.Time_sync);
+  ignore
+    (Timer_heap.add t.timers
+       ~deadline:(now + Sim.Time.ms 100)
+       ~period:(Sim.Time.ms 100) Timer_heap.Watchdog_tick);
+  for cpu = 0 to cpu_count t - 1 do
+    ignore
+      (Timer_heap.add t.timers
+         ~deadline:(now + Sim.Time.ms 10 + (cpu * Sim.Time.ms 1))
+         ~period:(Sim.Time.ms 10)
+         (Timer_heap.Sched_tick cpu))
+  done
+
+let arm_all_apics t =
+  let now = Sim.Clock.now t.clock in
+  let deadline =
+    match Timer_heap.next_deadline t.timers with
+    | Some d -> max d (now + Sim.Time.us 10)
+    | None -> now + Sim.Time.ms 10
+  in
+  Hw.Machine.iter_cpus t.machine (fun c ->
+      Hw.Apic.program_timer c.Hw.Cpu.apic ~deadline)
+
+let setup_ioapic_routing t =
+  (* Line 1: block backend, line 2: network backend; both routed to the
+     PrivVM's CPU, which hosts the device drivers. *)
+  Hw.Ioapic.write t.machine.Hw.Machine.ioapic ~line:1 ~vector:0x31 ~dest_cpu:0
+    ~masked:false;
+  Hw.Ioapic.write t.machine.Hw.Machine.ioapic ~line:2 ~vector:0x32 ~dest_cpu:0
+    ~masked:false
+
+(* Create a domain: allocate its control structures from the heap, give
+   it memory (validated page-table frames plus writable frames), bind
+   its event channels and install its vCPUs in the scheduler. Used both
+   at boot and by the PrivVM toolstack after recovery. *)
+let create_domain_internal ?(is_idle = false) t ~privileged ~vcpu_pins ~mem_frames =
+  let domid = t.next_domid in
+  t.next_domid <- t.next_domid + 1;
+  let dom = Domain.create ~is_idle t.heap ~domid ~privileged ~vcpus:vcpu_pins in
+  Hashtbl.replace t.domains domid dom;
+  for i = 0 to mem_frames - 1 do
+    let ptype = if i mod 8 = 0 then Pfn.Page_table else Pfn.Writable in
+    let d = Pfn.alloc_frame t.pfn ~owner:domid ~ptype in
+    if ptype = Pfn.Page_table then Pfn.validate d;
+    dom.Domain.owned_frames <- d.Pfn.index :: dom.Domain.owned_frames
+  done;
+  Evtchn.bind dom.Domain.evtchn ~port:1;
+  Evtchn.bind dom.Domain.evtchn ~port:2;
+  (* Grant a few page-table-typed frames for I/O rings; these pinned
+     frames are never handed back by decrease_reservation, so grant maps
+     cannot race with frame freeing. *)
+  let granted = ref 0 in
+  List.iter
+    (fun f ->
+      if !granted < 8 && (Pfn.get t.pfn f).Pfn.ptype = Pfn.Page_table then begin
+        Grant.grant dom.Domain.grants ~slot:!granted ~frame:f;
+        incr granted
+      end)
+    dom.Domain.owned_frames;
+  Array.iter (fun v -> Sched.enqueue t.sched v) dom.Domain.vcpus;
+  dom
+
+let destroy_domain_internal t dom =
+  dom.Domain.alive <- false;
+  List.iter
+    (fun f ->
+      let d = Pfn.get t.pfn f in
+      if d.Pfn.owner = dom.Domain.domid then begin
+        if d.Pfn.validated then Pfn.invalidate d;
+        if d.Pfn.use_count > 0 then Pfn.put_page d
+      end)
+    dom.Domain.owned_frames;
+  dom.Domain.owned_frames <- [];
+  List.iter (fun obj -> if obj.Heap.live then Heap.free t.heap obj) dom.Domain.heap_objs;
+  dom.Domain.heap_objs <- [];
+  Hashtbl.remove t.domains dom.Domain.domid
+
+(* Make each pinned vCPU current on its CPU, as after boot completes. *)
+let start_vcpus t =
+  List.iter
+    (fun (v : Domain.vcpu) ->
+      match Sched.current t.sched ~cpu:v.Domain.processor with
+      | None ->
+        (match Sched.dequeue t.sched ~cpu:v.Domain.processor with
+        | Some v' when v' == v -> ()
+        | Some v' -> Sched.enqueue t.sched v'
+        | None -> ());
+        Sched.set_current t.sched ~cpu:v.Domain.processor (Some v);
+        Sched.vcpu_mark_current v ~cpu:v.Domain.processor;
+        t.percpu.(v.Domain.processor).Percpu.curr_domid <- v.Domain.domid;
+        t.percpu.(v.Domain.processor).Percpu.curr_vcpuid <- v.Domain.vid
+      | Some _ -> ())
+    (all_vcpus t)
+
+type setup = One_appvm | Three_appvm
+
+(* Boot a target system: PrivVM on CPU 0 plus AppVMs pinned to their own
+   CPUs (each VM has one vCPU pinned to a different physical CPU,
+   Section VI-A). [vcpus_per_cpu > 1] gives each AppVM several vCPUs
+   sharing its physical CPU -- the "more complex configurations, that
+   include multiple vCPUs per CPU" of the paper's future work. *)
+let boot ?(mconfig = Hw.Machine.default_config) ?(vcpus_per_cpu = 1) ~config
+    ~setup clock =
+  let t = create ~mconfig ~config clock in
+  register_recurring_events t;
+  arm_all_apics t;
+  setup_ioapic_routing t;
+  let dom_frames = 96 in
+  let app_pins cpu = List.init (max 1 vcpus_per_cpu) (fun _ -> cpu) in
+  let _privvm = create_domain_internal t ~privileged:true ~vcpu_pins:[ 0 ] ~mem_frames:dom_frames in
+  (match setup with
+  | One_appvm ->
+    ignore
+      (create_domain_internal t ~privileged:false ~vcpu_pins:(app_pins 1)
+         ~mem_frames:dom_frames)
+  | Three_appvm ->
+    (* Initially two AppVMs (UnixBench, NetBench); the third (BlkBench)
+       is created after recovery. *)
+    ignore
+      (create_domain_internal t ~privileged:false ~vcpu_pins:(app_pins 1)
+         ~mem_frames:dom_frames);
+    ignore
+      (create_domain_internal t ~privileged:false ~vcpu_pins:(app_pins 2)
+         ~mem_frames:dom_frames));
+  start_vcpus t;
+  (* The idle domain, created last (Xen gives it a reserved domid): one
+     always-runnable vCPU per CPU that the scheduler alternates with
+     guest vCPUs. *)
+  let saved_next_domid = t.next_domid in
+  t.next_domid <- 1000;
+  let num_cpus = Hw.Machine.num_cpus t.machine in
+  let idle =
+    create_domain_internal ~is_idle:true t ~privileged:false
+      ~vcpu_pins:(List.init num_cpus (fun c -> c))
+      ~mem_frames:0
+  in
+  (* Idle vCPUs become current on CPUs with no guest vCPU. *)
+  Array.iter
+    (fun (v : Domain.vcpu) ->
+      match Sched.current t.sched ~cpu:v.Domain.processor with
+      | None ->
+        (match Sched.dequeue t.sched ~cpu:v.Domain.processor with
+        | Some v' when v' == v -> ()
+        | Some v' -> Sched.enqueue t.sched v'
+        | None -> ());
+        Sched.set_current t.sched ~cpu:v.Domain.processor (Some v);
+        Sched.vcpu_mark_current v ~cpu:v.Domain.processor;
+        t.percpu.(v.Domain.processor).Percpu.curr_domid <- v.Domain.domid;
+        t.percpu.(v.Domain.processor).Percpu.curr_vcpuid <- v.Domain.vid
+      | Some _ -> ())
+    idle.Domain.vcpus;
+  t.next_domid <- saved_next_domid;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* The stepper: instrumented micro-step execution                      *)
+(* ------------------------------------------------------------------ *)
+
+type stepper = { run : 'a. ?cycles:int -> string -> (unit -> 'a) -> 'a }
+
+let cycles_to_ns cycles = (cycles / 3) + 1 (* ~2.9 GHz *)
+
+let make_stepper t activity cpu =
+  let idx = ref 0 in
+  let run : type a. ?cycles:int -> string -> (unit -> a) -> a =
+   fun ?(cycles = 150) step_name f ->
+    let step_index = !idx in
+    incr idx;
+    Cycle_account.charge t.cycles cycles;
+    Hw.Cpu.charge_cycles (Hw.Machine.cpu t.machine cpu) cycles;
+    Sim.Clock.advance_by t.clock (cycles_to_ns cycles);
+    (match t.step_hook with
+    | Some hook -> hook t { activity; step_index; step_name; cpu }
+    | None -> ());
+    f ()
+  in
+  { run }
+
+(* Journal append helper: charges the logging cycles that produce the
+   Figure 3 overhead. *)
+let journal_log t (journal : Journal.t) entry =
+  if journal.Journal.enabled then begin
+    Cycle_account.charge_logging t.cycles Journal.cycles_per_write;
+    Sim.Clock.advance_by t.clock (cycles_to_ns Journal.cycles_per_write)
+  end;
+  Journal.log journal entry
+
+(* ------------------------------------------------------------------ *)
+(* Hypercall handlers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pick_writable_frame t rng (dom : Domain.t) =
+  let candidates =
+    List.filter
+      (fun f -> (Pfn.get t.pfn f).Pfn.ptype = Pfn.Writable)
+      dom.Domain.owned_frames
+  in
+  match candidates with
+  | [] -> None
+  | l -> Some (List.nth l (Sim.Rng.int rng (List.length l)))
+
+(* mmu_update: pin a fresh frame as a page table (get ref, write PTEs,
+   validate) and unpin an old one. The validate/commit gap is the
+   non-idempotent retry hazard of Section IV; code reordering moves the
+   critical updates as late as possible, the undo journal makes them
+   reversible. *)
+let exec_mmu_update t (s : stepper) journal (dom : Domain.t)
+    (record : Hypercalls.record) ~entries =
+  s.run "lock_page_alloc" (fun () ->
+      Spinlock.acquire dom.Domain.page_lock ~cpu:0);
+  let target, old_frame =
+    match record.Hypercalls.target_frames with
+    | f :: rest ->
+      (Pfn.get t.pfn f, match rest with o :: _ -> Some o | [] -> None)
+    | [] ->
+      let d =
+        s.run "alloc_frame" (fun () ->
+            Pfn.alloc_frame t.pfn ~owner:dom.Domain.domid ~ptype:Pfn.Page_table)
+      in
+      (* The table being replaced: a currently pinned page-table frame
+         (not one backing a grant entry). *)
+      let granted =
+        Array.to_list dom.Domain.grants.Grant.entries
+        |> List.filter_map (fun e ->
+               if e.Grant.in_use then Some e.Grant.frame else None)
+      in
+      let old_frame =
+        List.find_opt
+          (fun f ->
+            let o = Pfn.get t.pfn f in
+            o.Pfn.ptype = Pfn.Page_table && o.Pfn.validated
+            && f <> d.Pfn.index
+            && not (List.mem f granted))
+          dom.Domain.owned_frames
+      in
+      record.Hypercalls.target_frames <-
+        (d.Pfn.index :: (match old_frame with Some o -> [ o ] | None -> []));
+      record.Hypercalls.fresh_frames <- [ d.Pfn.index ];
+      dom.Domain.owned_frames <- d.Pfn.index :: dom.Domain.owned_frames;
+      (d, old_frame)
+  in
+  (* Unpin the table being replaced: invalidate + drop its reference.
+     Non-idempotent (retrying invalidates an already-invalid frame);
+     reversible only through the undo journal -- code reordering cannot
+     move this, because the PTE writes below must not race with a still-
+     pinned old table. *)
+  (match old_frame with
+  | Some o ->
+    let od = Pfn.get t.pfn o in
+    s.run "unpin_old_table" (fun () ->
+        if od.Pfn.validated then begin
+          journal_log t journal (Journal.Validated_cleared od);
+          Pfn.invalidate od;
+          journal_log t journal (Journal.Type_change (od, od.Pfn.ptype));
+          journal_log t journal (Journal.Owner_change (od, od.Pfn.owner));
+          journal_log t journal (Journal.Use_count_delta (od, -1));
+          Pfn.put_page od;
+          dom.Domain.owned_frames <-
+            List.filter (fun f -> f <> o) dom.Domain.owned_frames
+        end
+        else
+          (* Retry without undo: double unpin. *)
+          Pfn.invalidate od)
+  | None -> ());
+  (* Retrying with the same target: if the first execution already
+     validated it and nothing undid that, [Pfn.validate] panics -- the
+     paper's "re-execution results in an inconsistent state". Code
+     reordering (when this handler is among the enhanced ones) moves the
+     critical update to the end, shrinking the window. *)
+  if not (t.config.Config.code_reordering && record.Hypercalls.enhanced) then begin
+    s.run "validate_early" (fun () ->
+        if not target.Pfn.validated then begin
+          journal_log t journal (Journal.Validated_set target);
+          Pfn.validate target
+        end
+        else Pfn.validate target (* panics: double validation *))
+  end;
+  for i = 1 to entries do
+    s.run
+      (Printf.sprintf "pte_write_%d" i)
+      ~cycles:120
+      (fun () -> ())
+  done;
+  s.run "get_page_ref" (fun () ->
+      journal_log t journal (Journal.Use_count_delta (target, 1));
+      Pfn.get_page target);
+  if t.config.Config.code_reordering && record.Hypercalls.enhanced then
+    s.run "validate_late" (fun () ->
+        if not target.Pfn.validated then begin
+          journal_log t journal (Journal.Validated_set target);
+          Pfn.validate target
+        end
+        else Pfn.validate target);
+  s.run "unlock_page_alloc" (fun () ->
+      Spinlock.release dom.Domain.page_lock ~cpu:0)
+
+let exec_update_va_mapping t (s : stepper) rng journal (dom : Domain.t)
+    (record : Hypercalls.record) =
+  let frame =
+    match record.Hypercalls.target_frames with
+    | f :: _ -> Some f
+    | [] ->
+      let f = pick_writable_frame t rng dom in
+      (match f with
+      | Some f -> record.Hypercalls.target_frames <- [ f ]
+      | None -> ());
+      f
+  in
+  match frame with
+  | None -> ()
+  | Some f ->
+    let d = Pfn.get t.pfn f in
+    s.run "get_page" (fun () ->
+        journal_log t journal (Journal.Use_count_delta (d, 1));
+        Pfn.get_page d);
+    s.run "write_pte" ~cycles:100 (fun () -> ());
+    s.run "flush_tlb" ~cycles:200 (fun () -> ());
+    s.run "put_page" (fun () ->
+        journal_log t journal (Journal.Use_count_delta (d, -1));
+        Pfn.put_page d)
+
+let exec_memory_op_populate t (s : stepper) journal (dom : Domain.t)
+    (record : Hypercalls.record) =
+  for i = 1 to 2 do
+    ignore i;
+    (* The buddy-allocator critical section under the static heap lock is
+       short: acquire and release within the allocation step. *)
+    let d =
+      s.run "alloc_frame" (fun () ->
+          Spinlock.acquire t.global_heap_lock ~cpu:0;
+          let d = Pfn.alloc_frame t.pfn ~owner:dom.Domain.domid ~ptype:Pfn.Writable in
+          Spinlock.release t.global_heap_lock ~cpu:0;
+          d)
+    in
+    journal_log t journal
+      (Journal.Undo_fn
+         (fun () ->
+           if d.Pfn.use_count > 0 then Pfn.put_page d));
+    record.Hypercalls.fresh_frames <- d.Pfn.index :: record.Hypercalls.fresh_frames;
+    s.run "assign_page" (fun () ->
+        dom.Domain.owned_frames <- d.Pfn.index :: dom.Domain.owned_frames)
+  done
+
+let exec_memory_op_decrease t (s : stepper) rng journal (dom : Domain.t)
+    (record : Hypercalls.record) =
+  (match record.Hypercalls.target_frames with
+  | [] ->
+    (match pick_writable_frame t rng dom with
+    | Some f -> record.Hypercalls.target_frames <- [ f ]
+    | None -> ())
+  | _ -> ());
+  match record.Hypercalls.target_frames with
+  | [] -> ()
+  | f :: _ ->
+    let d = Pfn.get t.pfn f in
+    (* Double execution without undo double-puts the frame: underflow. *)
+    s.run "put_page" (fun () ->
+        journal_log t journal (Journal.Type_change (d, d.Pfn.ptype));
+        journal_log t journal (Journal.Owner_change (d, d.Pfn.owner));
+        journal_log t journal (Journal.Use_count_delta (d, -1));
+        Spinlock.acquire t.global_heap_lock ~cpu:0;
+        Pfn.put_page d;
+        Spinlock.release t.global_heap_lock ~cpu:0);
+    s.run "remove_from_domain" (fun () ->
+        dom.Domain.owned_frames <-
+          List.filter (fun f' -> f' <> f) dom.Domain.owned_frames)
+
+let exec_grant_table_op t (s : stepper) rng journal (dom : Domain.t)
+    (record : Hypercalls.record) ~subops =
+  s.run "lock_grant" (fun () -> Spinlock.acquire dom.Domain.grants.Grant.lock ~cpu:0);
+  (match record.Hypercalls.target_frames with
+  | [] ->
+    (* Map then unmap a granted frame per sub-op pair. *)
+    let slots =
+      Array.to_list dom.Domain.grants.Grant.entries
+      |> List.filter (fun e -> e.Grant.in_use && e.Grant.mapped_by = -1)
+    in
+    (match slots with
+    | [] -> ()
+    | l ->
+      let e = List.nth l (Sim.Rng.int rng (List.length l)) in
+      record.Hypercalls.target_frames <- [ e.Grant.slot ])
+  | _ -> ());
+  (match record.Hypercalls.target_frames with
+  | slot :: _ ->
+    let e = dom.Domain.grants.Grant.entries.(slot) in
+    for i = 1 to subops do
+      let frame_desc =
+        if e.Grant.frame >= 0 then Some (Pfn.get t.pfn e.Grant.frame) else None
+      in
+      s.run (Printf.sprintf "grant_map_%d" i) (fun () ->
+          (* Retrying a completed map panics ("already mapped") unless
+             the undo log reverted it. *)
+          journal_log t journal
+            (Journal.Undo_fn (fun () -> if e.Grant.mapped_by <> -1 then e.Grant.mapped_by <- -1));
+          Grant.map dom.Domain.grants ~slot ~by:0;
+          match frame_desc with
+          | Some d ->
+            journal_log t journal (Journal.Use_count_delta (d, 1));
+            Pfn.get_page d
+          | None -> ());
+      s.run (Printf.sprintf "ring_io_%d" i) ~cycles:400 (fun () -> ());
+      s.run (Printf.sprintf "grant_unmap_%d" i) (fun () ->
+          journal_log t journal
+            (Journal.Undo_fn (fun () -> if e.Grant.mapped_by = -1 then e.Grant.mapped_by <- 0));
+          Grant.unmap dom.Domain.grants ~slot;
+          match frame_desc with
+          | Some d ->
+            journal_log t journal (Journal.Use_count_delta (d, -1));
+            Pfn.put_page d
+          | None -> ())
+    done
+  | [] -> ());
+  s.run "unlock_grant" (fun () ->
+      Spinlock.release dom.Domain.grants.Grant.lock ~cpu:0)
+
+let exec_evtchn_send t (s : stepper) (dom : Domain.t) =
+  s.run "lock_evtchn" (fun () -> Spinlock.acquire dom.Domain.evtchn.Evtchn.lock ~cpu:0);
+  s.run "set_pending" (fun () -> Evtchn.send dom.Domain.evtchn ~port:1);
+  s.run "unlock_evtchn" (fun () ->
+      Spinlock.release dom.Domain.evtchn.Evtchn.lock ~cpu:0);
+  ignore t
+
+let exec_sched_op_block t (s : stepper) cpu (vcpu : Domain.vcpu) =
+  let percpu = t.percpu.(cpu) in
+  s.run "lock_sched" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
+  (* A guest can only block the vCPU that is actually executing. *)
+  let is_current =
+    match Sched.current t.sched ~cpu with
+    | Some v -> v == vcpu
+    | None -> false
+  in
+  if is_current then begin
+    s.run "set_blocked" (fun () -> vcpu.Domain.runstate <- Domain.Blocked);
+    s.run "clear_percpu_curr" (fun () ->
+        Sched.set_current t.sched ~cpu None;
+        percpu.Percpu.curr_domid <- -1;
+        percpu.Percpu.curr_vcpuid <- -1);
+    s.run "clear_vcpu_current" (fun () -> Sched.vcpu_clear_current vcpu);
+    (* Pick someone else to run, if anyone is queued. *)
+    (match s.run "pick_next" (fun () -> Sched.dequeue t.sched ~cpu) with
+    | Some next ->
+      s.run "set_next_current" (fun () ->
+          Sched.set_current t.sched ~cpu (Some next);
+          percpu.Percpu.curr_domid <- next.Domain.domid;
+          percpu.Percpu.curr_vcpuid <- next.Domain.vid);
+      s.run "mark_next" (fun () -> Sched.vcpu_mark_current next ~cpu)
+    | None -> ());
+    (* The event the guest blocked on arrives shortly (I/O completion):
+       requeue the vCPU as runnable. *)
+    s.run "arrange_wakeup" (fun () ->
+        if vcpu.Domain.runstate = Domain.Blocked then Sched.enqueue t.sched vcpu)
+  end
+  else s.run "poll_pending_events" ~cycles:80 (fun () -> ());
+  s.run "unlock_sched" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu)
+
+let exec_set_timer_op t (s : stepper) cpu (vcpu : Domain.vcpu) =
+  let percpu = t.percpu.(cpu) in
+  s.run "lock_timers" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
+  s.run "insert_timer" (fun () ->
+      let now = Sim.Clock.now t.clock in
+      ignore
+        (Timer_heap.add t.timers
+           ~deadline:(now + Sim.Time.ms 1)
+           (Timer_heap.Vcpu_timer (vcpu.Domain.domid, vcpu.Domain.vid))));
+  s.run "unlock_timers" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu)
+
+let exec_console_io t (s : stepper) cpu =
+  s.run "lock_console" (fun () -> Spinlock.acquire t.console_lock ~cpu);
+  s.run "emit" ~cycles:300 (fun () -> ());
+  s.run "unlock_console" (fun () -> Spinlock.release t.console_lock ~cpu)
+
+(* Toolstack domain creation: walks the domain list under the static
+   domlist lock, allocates control structures from the heap and memory
+   from the frame allocator -- the path that must still work after
+   recovery for the hypervisor to count as healthy. *)
+let exec_domctl_create t (s : stepper) cpu ~vcpu_pin ~mem_frames =
+  Domain.check_struct (privvm t);
+  s.run "lock_domlist" (fun () -> Spinlock.acquire t.domlist_lock ~cpu);
+  if not t.static_data_ok then
+    Crash.panic "domctl: static configuration data corrupted (%s)"
+      t.static_data_note;
+  let dom =
+    s.run "alloc_domain_struct" (fun () ->
+        create_domain_internal t ~privileged:false ~vcpu_pins:[ vcpu_pin ]
+          ~mem_frames)
+  in
+  s.run "unlock_domlist" (fun () -> Spinlock.release t.domlist_lock ~cpu);
+  dom
+
+let exec_domctl_destroy t (s : stepper) cpu (dom : Domain.t) =
+  s.run "lock_domlist" (fun () -> Spinlock.acquire t.domlist_lock ~cpu);
+  s.run "teardown" (fun () -> destroy_domain_internal t dom);
+  s.run "unlock_domlist" (fun () -> Spinlock.release t.domlist_lock ~cpu)
+
+(* Dispatch a hypercall body. [record] carries retry state. *)
+let rec exec_hypercall_body t (s : stepper) rng journal cpu (vcpu : Domain.vcpu)
+    (record : Hypercalls.record) (kind : Hypercalls.kind) =
+  let dom =
+    match domain t vcpu.Domain.domid with
+    | Some d -> d
+    | None -> Crash.panic "hypercall from dead domain %d" vcpu.Domain.domid
+  in
+  Domain.check_struct dom;
+  match kind with
+  | Hypercalls.Mmu_update entries -> exec_mmu_update t s journal dom record ~entries
+  | Hypercalls.Update_va_mapping -> exec_update_va_mapping t s rng journal dom record
+  | Hypercalls.Memory_op_populate -> exec_memory_op_populate t s journal dom record
+  | Hypercalls.Memory_op_decrease -> exec_memory_op_decrease t s rng journal dom record
+  | Hypercalls.Grant_table_op subops ->
+    exec_grant_table_op t s rng journal dom record ~subops
+  | Hypercalls.Event_channel_send -> exec_evtchn_send t s dom
+  | Hypercalls.Event_channel_bind ->
+    s.run "bind_port" (fun () ->
+        let free =
+          Array.to_list dom.Domain.evtchn.Evtchn.chans
+          |> List.find_opt (fun c -> not c.Evtchn.bound)
+        in
+        match free with
+        | Some c -> Evtchn.bind dom.Domain.evtchn ~port:c.Evtchn.port
+        | None -> ())
+  | Hypercalls.Sched_op_yield ->
+    s.run "yield" (fun () -> t.need_resched_flags.(cpu) <- true)
+  | Hypercalls.Sched_op_block -> exec_sched_op_block t s cpu vcpu
+  | Hypercalls.Set_timer_op -> exec_set_timer_op t s cpu vcpu
+  | Hypercalls.Console_io -> exec_console_io t s cpu
+  | Hypercalls.Vcpu_op_info -> s.run "read_info" ~cycles:100 (fun () -> ())
+  | Hypercalls.Domctl_create_domain ->
+    ignore (exec_domctl_create t s cpu ~vcpu_pin:3 ~mem_frames:32)
+  | Hypercalls.Domctl_destroy_domain ->
+    (match app_domains t with
+    | d :: _ -> exec_domctl_destroy t s cpu d
+    | [] -> ())
+  | Hypercalls.Domctl_pause_domain -> s.run "pause" (fun () -> ())
+  | Hypercalls.Multicall kinds ->
+    (* Each component gets its own argument record (created once, reused
+       verbatim on retry); all components share the batch's journal. *)
+    if record.Hypercalls.children = [] then
+      record.Hypercalls.children <-
+        List.map
+          (fun k ->
+            Hypercalls.make_record ~enhanced:record.Hypercalls.enhanced
+              ~logging:false k)
+          kinds;
+    List.iteri
+      (fun i child ->
+        if i >= record.Hypercalls.sub_completed then begin
+          exec_hypercall_body t s rng journal cpu vcpu child
+            child.Hypercalls.kind;
+          if t.config.Config.hypercall_progress_tracking then begin
+            (* Fine-granularity batched retry: log each component's
+               completion so a retry skips it. *)
+            Cycle_account.charge_logging t.cycles 40;
+            record.Hypercalls.sub_completed <- record.Hypercalls.sub_completed + 1;
+            Journal.commit journal
+          end
+        end)
+      record.Hypercalls.children
+
+let journal_of_record _t (record : Hypercalls.record) = record.Hypercalls.journal
+
+(* ------------------------------------------------------------------ *)
+(* Top-level activities                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_timer_action t (s : stepper) cpu (e : Timer_heap.event) =
+  match e.Timer_heap.action with
+  | Timer_heap.Time_sync ->
+    s.run "time_sync" (fun () -> t.time_sync_count <- t.time_sync_count + 1)
+  | Timer_heap.Sched_tick c ->
+    s.run "sched_tick" (fun () -> t.need_resched_flags.(c) <- true)
+  | Timer_heap.Watchdog_tick ->
+    s.run "watchdog_tick" (fun () ->
+        Array.iteri (fun i v -> t.watchdog_soft.(i) <- v + 1) t.watchdog_soft)
+  | Timer_heap.Vcpu_timer (domid, vid) ->
+    s.run "vcpu_timer" (fun () ->
+        match domain t domid with
+        | Some d when d.Domain.alive ->
+          let v = Domain.vcpu d vid in
+          if v.Domain.runstate = Domain.Blocked then begin
+            v.Domain.runstate <- Domain.Runnable;
+            Sched.enqueue t.sched v
+          end
+        | Some _ | None -> ())
+  | Timer_heap.Generic_oneshot -> s.run "oneshot" (fun () -> ())
+  [@@warning "-27"]
+
+(* The context-switch path, decomposed so an abandonment between the
+   per-CPU update and the per-vCPU updates leaves the redundant records
+   disagreeing. Returns [true] if the wrong register context would have
+   been restored. *)
+let do_context_switch t (s : stepper) cpu =
+  let percpu = t.percpu.(cpu) in
+  s.run "lock_sched" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
+  s.run "assert_not_in_irq" (fun () -> Percpu.assert_not_in_irq percpu);
+  let wrong_context = ref false in
+  (match s.run "pick_next" (fun () -> Sched.dequeue t.sched ~cpu) with
+  | None -> ()
+  | Some next ->
+    (match Sched.current t.sched ~cpu with
+    | Some prev when prev == next -> ()
+    | Some prev ->
+      (* The assertion-rich part of Xen's schedule(): metadata must
+         agree before the switch. *)
+      s.run "assert_consistent" (fun () ->
+          Crash.hv_assert prev.Domain.is_current
+            "schedule: cpu%d prev d%dv%d lost is_current" cpu prev.Domain.domid
+            prev.Domain.vid;
+          if prev.Domain.curr_slot <> cpu then
+            (* Disagreement that does not trip an assertion restores a
+               stale context instead. *)
+            wrong_context := true);
+      s.run "clear_prev" (fun () ->
+          Sched.vcpu_clear_current prev;
+          if prev.Domain.runstate = Domain.Running then
+            prev.Domain.runstate <- Domain.Runnable;
+          Sched.enqueue t.sched prev);
+      s.run "set_percpu_curr" (fun () ->
+          Sched.set_current t.sched ~cpu (Some next);
+          percpu.Percpu.curr_domid <- next.Domain.domid;
+          percpu.Percpu.curr_vcpuid <- next.Domain.vid);
+      s.run "mark_next_current" (fun () -> Sched.vcpu_mark_current next ~cpu);
+      s.run "restore_context" ~cycles:350 (fun () ->
+          (* Disagreeing redundant records make Xen restore a stale
+             register context: the guest resumes with wrong registers. *)
+          if !wrong_context then begin
+            match domain t next.Domain.domid with
+            | Some d when not d.Domain.is_idle -> d.Domain.guest_failed <- true
+            | Some _ | None -> ()
+          end)
+    | None ->
+      s.run "set_percpu_curr" (fun () ->
+          Sched.set_current t.sched ~cpu (Some next);
+          percpu.Percpu.curr_domid <- next.Domain.domid;
+          percpu.Percpu.curr_vcpuid <- next.Domain.vid);
+      s.run "mark_next_current" (fun () -> Sched.vcpu_mark_current next ~cpu);
+      s.run "restore_context" ~cycles:350 (fun () -> ())));
+  s.run "unlock_sched" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu);
+  t.need_resched_flags.(cpu) <- false;
+  !wrong_context
+
+let do_timer_tick t (s : stepper) cpu =
+  let percpu = t.percpu.(cpu) in
+  let apic = (Hw.Machine.cpu t.machine cpu).Hw.Cpu.apic in
+  s.run "irq_enter" (fun () ->
+      Percpu.irq_enter percpu;
+      (* The APIC one-shot timer fired to get here: it is now disarmed
+         and stays so until the reprogram step below. *)
+      Hw.Apic.disarm_timer apic;
+      Hw.Apic.begin_service apic 0xf0);
+  s.run "lock_timers" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
+  let now = Sim.Clock.now t.clock in
+  (* Each due event is popped, its handler runs and (for recurring
+     events) it is re-inserted at the end of the handler -- the pop-to-
+     requeue gap is the window the "Reactivate recurring timer events"
+     enhancement closes. *)
+  let rec drain budget =
+    if budget > 0 then begin
+      match Timer_heap.pop_due t.timers ~now with
+      | None -> ()
+      | Some e ->
+        (* The periodic-timer infrastructure re-arms scheduler/watchdog
+           ticks up front; the time-sync handler re-arms itself at the
+           end of its (longer) handler, leaving the pop-to-requeue gap
+           that "Reactivate recurring timer events" closes. *)
+        (match e.Timer_heap.action with
+        | Timer_heap.Time_sync ->
+          run_timer_action t s cpu e;
+          Timer_heap.requeue t.timers e ~now:(Sim.Clock.now t.clock)
+        | Timer_heap.Sched_tick _ | Timer_heap.Watchdog_tick
+        | Timer_heap.Vcpu_timer _ | Timer_heap.Generic_oneshot ->
+          Timer_heap.requeue t.timers e ~now:(Sim.Clock.now t.clock);
+          run_timer_action t s cpu e);
+        drain (budget - 1)
+    end
+  in
+  drain 3;
+  s.run "unlock_timers" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu);
+  s.run "reprogram_apic" (fun () ->
+      let deadline =
+        match Timer_heap.next_deadline t.timers with
+        | Some d -> max d (Sim.Clock.now t.clock + Sim.Time.us 10)
+        | None -> Sim.Clock.now t.clock + Sim.Time.ms 10
+      in
+      Hw.Apic.program_timer apic ~deadline);
+  s.run "apic_eoi" (fun () -> Hw.Apic.eoi apic 0xf0);
+  s.run "irq_exit" (fun () -> Percpu.irq_exit percpu)
+(* Resched requests raised by the tick are honoured by the softirq path
+   on the next idle poll / explicit context switch. *)
+
+let do_device_interrupt t (s : stepper) ~line ~target_dom =
+  let cpu = 0 (* device interrupts are routed to the PrivVM's CPU *) in
+  let percpu = t.percpu.(cpu) in
+  let apic = (Hw.Machine.cpu t.machine cpu).Hw.Cpu.apic in
+  let vector, _, masked = Hw.Ioapic.read t.machine.Hw.Machine.ioapic ~line in
+  if masked || vector = 0 then
+    (* Routing lost (e.g. after a reboot without the IO-APIC log):
+       the device's interrupts simply never arrive. *)
+    ()
+  else begin
+    s.run "irq_enter" (fun () ->
+        Percpu.irq_enter percpu;
+        Hw.Apic.begin_service apic vector);
+    (match domain t target_dom with
+    | Some dom when dom.Domain.alive ->
+      s.run "lock_evtchn" (fun () ->
+          Spinlock.acquire dom.Domain.evtchn.Evtchn.lock ~cpu);
+      s.run "notify_guest" (fun () ->
+          Evtchn.send dom.Domain.evtchn ~port:2;
+          (* The event wakes the target vCPU if it blocked. *)
+          Array.iter
+            (fun (v : Domain.vcpu) ->
+              if v.Domain.runstate = Domain.Blocked then Sched.enqueue t.sched v)
+            dom.Domain.vcpus);
+      s.run "unlock_evtchn" (fun () ->
+          Spinlock.release dom.Domain.evtchn.Evtchn.lock ~cpu)
+    | Some _ | None -> ());
+    s.run "apic_eoi" (fun () -> Hw.Apic.eoi apic vector);
+    s.run "irq_exit" (fun () -> Percpu.irq_exit percpu)
+  end
+
+(* Fraction of the non-idempotent hypercall paths actually covered by the
+   logging/reordering mitigation (the paper covered the handlers fault
+   injection surfaced, not all of them: 84% -> 96% recovery rate). *)
+let mitigation_coverage = 0.80
+
+let do_hypercall t (s : stepper) rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
+  let percpu = t.percpu.(cpu) in
+  let record =
+    match retry_of with
+    | Some r ->
+      r.Hypercalls.retries <- r.Hypercalls.retries + 1;
+      r
+    | None ->
+      let enhanced =
+        (not (Hypercalls.non_idempotent kind))
+        || Sim.Rng.float rng 1.0 < mitigation_coverage
+      in
+      Hypercalls.make_record ~enhanced
+        ~logging:t.config.Config.nonidempotent_logging kind
+  in
+  let journal = journal_of_record t record in
+  s.run "hypercall_entry" (fun () ->
+      Cycle_account.note_entry t.cycles;
+      percpu.Percpu.in_hypercall_depth <- percpu.Percpu.in_hypercall_depth + 1;
+      if t.config.Config.save_fs_gs then begin
+        (* The x86-64 port fix: explicitly save the guest's FS/GS. *)
+        Cycle_account.charge t.cycles 30;
+        percpu.Percpu.saved_guest_fsgs <-
+          Some
+            ( Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.FS,
+              Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.GS )
+      end;
+      vcpu.Domain.in_hypercall <- Some record);
+  exec_hypercall_body t s rng journal cpu vcpu record kind;
+  s.run "hypercall_commit" (fun () ->
+      record.Hypercalls.committed <- true;
+      Journal.commit journal);
+  s.run "hypercall_exit" (fun () ->
+      vcpu.Domain.in_hypercall <- None;
+      vcpu.Domain.retry_pending <- false;
+      percpu.Percpu.saved_guest_fsgs <- None;
+      percpu.Percpu.in_hypercall_depth <- max 0 (percpu.Percpu.in_hypercall_depth - 1))
+
+let do_syscall_forward t (s : stepper) ~cpu (vcpu : Domain.vcpu) =
+  let percpu = t.percpu.(cpu) in
+  s.run "syscall_entry" (fun () ->
+      Cycle_account.note_entry t.cycles;
+      if t.config.Config.save_fs_gs then
+        percpu.Percpu.saved_guest_fsgs <-
+          Some
+            ( Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.FS,
+              Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.GS );
+      vcpu.Domain.in_syscall_forward <- true);
+  s.run "decode_target" ~cycles:60 (fun () -> ());
+  s.run "forward_to_kernel" (fun () -> ());
+  s.run "syscall_exit" (fun () ->
+      vcpu.Domain.in_syscall_forward <- false;
+      vcpu.Domain.syscall_retry_pending <- false;
+      percpu.Percpu.saved_guest_fsgs <- None)
+
+let do_idle_poll t (s : stepper) cpu =
+  s.run "check_softirq" ~cycles:50 (fun () -> ());
+  if t.need_resched_flags.(cpu) then ignore (do_context_switch t s cpu)
+
+let execute t rng activity =
+  match activity with
+  | Timer_tick cpu -> do_timer_tick t (make_stepper t activity cpu) cpu
+  | Device_interrupt { line; target_dom } ->
+    do_device_interrupt t (make_stepper t activity 0) ~line ~target_dom
+  | Hypercall { domid; vid; kind } ->
+    (match domain t domid with
+    | Some dom when dom.Domain.alive ->
+      let vcpu = Domain.vcpu dom vid in
+      let cpu = vcpu.Domain.processor in
+      do_hypercall t (make_stepper t activity cpu) rng ~cpu vcpu kind ~retry_of:None
+    | Some _ | None -> ())
+  | Syscall_forward { domid; vid } ->
+    (match domain t domid with
+    | Some dom when dom.Domain.alive ->
+      let vcpu = Domain.vcpu dom vid in
+      let cpu = vcpu.Domain.processor in
+      do_syscall_forward t (make_stepper t activity cpu) ~cpu vcpu
+    | Some _ | None -> ())
+  | Context_switch cpu ->
+    ignore (do_context_switch t (make_stepper t activity cpu) cpu)
+  | Idle_poll cpu -> do_idle_poll t (make_stepper t activity cpu) cpu
+
+(* Execute an activity but abandon it (exactly as a discarded execution
+   thread would be) at step [stop_at]: partial state stays in place. *)
+let execute_partial t rng activity ~stop_at =
+  let saved_hook = t.step_hook in
+  let counter = ref 0 in
+  t.step_hook <-
+    Some
+      (fun t' ctx ->
+        (match saved_hook with Some h -> h t' ctx | None -> ());
+        if !counter >= stop_at then raise Abandoned;
+        incr counter);
+  Fun.protect
+    ~finally:(fun () -> t.step_hook <- saved_hook)
+    (fun () -> try execute t rng activity with Abandoned -> ())
+
+(* Retry a hypercall abandoned by recovery (the "hypercall retry"
+   mechanism): optionally undo the journal first (non-idempotent
+   mitigation), then re-execute with the same arguments. *)
+let retry_hypercall t rng (vcpu : Domain.vcpu) =
+  match vcpu.Domain.in_hypercall with
+  | None -> ()
+  | Some record ->
+    let journal = journal_of_record t record in
+    if t.config.Config.nonidempotent_logging then Journal.undo_all journal;
+    let cpu = vcpu.Domain.processor in
+    let activity =
+      Hypercall
+        { domid = vcpu.Domain.domid; vid = vcpu.Domain.vid; kind = record.Hypercalls.kind }
+    in
+    do_hypercall t (make_stepper t activity cpu) rng ~cpu vcpu
+      record.Hypercalls.kind ~retry_of:(Some record)
+
+let retry_syscall t (vcpu : Domain.vcpu) =
+  let cpu = vcpu.Domain.processor in
+  let activity = Syscall_forward { domid = vcpu.Domain.domid; vid = vcpu.Domain.vid } in
+  do_syscall_forward t (make_stepper t activity cpu) ~cpu vcpu
+
+(* ------------------------------------------------------------------ *)
+(* Consistency audit                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type audit_report = {
+  static_locks_held : int;
+  heap_locks_held : bool;
+  irq_counts_nonzero : int;
+  sched_consistent : bool;
+  pfn_inconsistent : int;
+  heap_ok : bool;
+  timer_structure_ok : bool;
+  recurring_missing : int;
+  apics_unarmed : int;
+  static_data_ok : bool;
+}
+
+let audit t =
+  let static_locks_held =
+    let n = ref 0 in
+    Spinlock.Segment.iter t.static_segment (fun l ->
+        if Spinlock.is_held l then incr n);
+    !n
+  in
+  let irq_counts_nonzero =
+    Array.fold_left
+      (fun acc (p : Percpu.t) -> if p.Percpu.local_irq_count <> 0 then acc + 1 else acc)
+      0 t.percpu
+  in
+  let apics_unarmed =
+    let n = ref 0 in
+    Hw.Machine.iter_cpus t.machine (fun c ->
+        if not (Hw.Apic.timer_armed c.Hw.Cpu.apic) then incr n);
+    !n
+  in
+  {
+    static_locks_held;
+    heap_locks_held = Heap.any_heap_lock_held t.heap;
+    irq_counts_nonzero;
+    sched_consistent = Sched.audit t.sched (all_vcpus t);
+    pfn_inconsistent = Pfn.count_inconsistent t.pfn;
+    heap_ok = Heap.audit t.heap;
+    timer_structure_ok = Timer_heap.structure_ok t.timers;
+    recurring_missing = List.length (Timer_heap.missing_recurring t.timers);
+    apics_unarmed;
+    static_data_ok = t.static_data_ok;
+  }
+
+let audit_clean r =
+  r.static_locks_held = 0 && (not r.heap_locks_held) && r.irq_counts_nonzero = 0
+  && r.sched_consistent && r.pfn_inconsistent = 0 && r.heap_ok
+  && r.timer_structure_ok && r.recurring_missing = 0 && r.apics_unarmed = 0
+  && r.static_data_ok
+
+let pp_audit fmt r =
+  Format.fprintf fmt
+    "static_locks_held=%d heap_locks_held=%b irq_nonzero=%d sched_ok=%b \
+     pfn_bad=%d heap_ok=%b timer_ok=%b recurring_missing=%d apics_unarmed=%d \
+     static_data_ok=%b"
+    r.static_locks_held r.heap_locks_held r.irq_counts_nonzero
+    r.sched_consistent r.pfn_inconsistent r.heap_ok r.timer_structure_ok
+    r.recurring_missing r.apics_unarmed r.static_data_ok

@@ -1,0 +1,56 @@
+(** Recovery-latency cost model.
+
+    The paper measures recovery latency on bare hardware with 8 GB RAM
+    and 8 CPUs (Tables II and III). Each recovery step charges simulated
+    time; steps whose cost scales with machine size (page-frame scans,
+    heap reconstruction, per-CPU bring-up) are expressed per-unit so that
+    the model extrapolates, as Section VII-B discusses ("the latency ...
+    is proportional to the size of the host memory"). Constants are
+    calibrated to reproduce the paper's breakdowns at the reference
+    geometry (2 Mi frames, 8 CPUs). *)
+
+open Sim
+
+(* Reference geometry: 8 GB / 4 KB pages = 2_097_152 frames; 8 CPUs. *)
+let reference_frames = 2_097_152
+
+(* --- Steps common to both mechanisms ------------------------------- *)
+
+(* 21 ms / 2 Mi frames. *)
+let pfn_scan_ns_per_frame = 10
+
+let pfn_scan ~frames = frames * pfn_scan_ns_per_frame
+
+(* --- NiLiHype (Table III) ------------------------------------------ *)
+
+(* "Others: 1ms" -- interrupting the CPUs, discarding stacks, and the
+   state-consistency enhancements. *)
+let microreset_interrupt_cpus ~cpus = Time.us 20 * cpus
+let microreset_enhancements = Time.us 700
+let microreset_misc = Time.us 140
+
+(* --- ReHype (Table II) --------------------------------------------- *)
+
+let reboot_early_boot_cpu = Time.ms 12
+let reboot_cpu_online_per_cpu = Time.us 21_430 (* 150ms / 7 secondary CPUs *)
+let reboot_apic_ioapic_setup = Time.ms 200
+let reboot_tsc_calibrate = Time.ms 50
+
+let reboot_record_old_heap ~frames = frames * 10 (* 21ms @ 2Mi frames *)
+let reboot_reinit_unpreserved_pfn ~frames = frames * 6 (* ~13ms *)
+let reboot_recreate_heap ~frames = frames * 100 (* ~211ms *)
+
+let reboot_smp_init = Time.ms 20
+let reboot_relocate_modules = Time.ms 2
+let reboot_others = Time.ms 13
+
+(* A latency breakdown: ordered (step, duration) pairs. *)
+type breakdown = { steps : (string * Time.ns) list }
+
+let total b = List.fold_left (fun acc (_, d) -> acc + d) 0 b.steps
+
+let pp fmt b =
+  List.iter
+    (fun (name, d) -> Format.fprintf fmt "  %-55s %a@." name Time.pp_ms d)
+    b.steps;
+  Format.fprintf fmt "  %-55s %a@." "Total" Time.pp_ms (total b)

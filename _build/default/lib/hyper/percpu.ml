@@ -1,0 +1,49 @@
+(** Per-CPU hypervisor data.
+
+    [local_irq_count] records interrupt-nesting depth and is checked by
+    assertions ("is this CPU currently servicing an interrupt?"); because
+    microreset discards all execution threads, these counters are left
+    non-zero and must be cleared by the "Clear IRQ count" enhancement --
+    the very first enhancement in Table I, without which recovery never
+    succeeds. *)
+
+type t = {
+  cpu : int;
+  mutable local_irq_count : int;
+  mutable in_hypercall_depth : int;
+  mutable curr_domid : int; (* authoritative: domain running on this CPU *)
+  mutable curr_vcpuid : int;
+  mutable saved_guest_fsgs : (int64 * int64) option;
+  heap_lock : Spinlock.t; (* per-CPU scheduler/timer lock, heap-resident *)
+}
+
+let create heap cpu =
+  let lock =
+    Spinlock.create ~name:(Printf.sprintf "percpu%d_sched" cpu) ~location:Spinlock.Heap
+  in
+  (* The per-CPU area (and its locks) live in the Xen heap, so the
+     heap-lock-release mechanism covers them. *)
+  ignore (Heap.alloc heap ~size:4096 (Heap.Lock lock));
+  ignore (Heap.alloc heap ~size:4096 (Heap.Percpu_area cpu));
+  {
+    cpu;
+    local_irq_count = 0;
+    in_hypercall_depth = 0;
+    curr_domid = -1;
+    curr_vcpuid = -1;
+    saved_guest_fsgs = None;
+    heap_lock = lock;
+  }
+
+let irq_enter t = t.local_irq_count <- t.local_irq_count + 1
+
+let irq_exit t =
+  Crash.hv_assert (t.local_irq_count > 0) "cpu%d: irq_exit with count %d" t.cpu
+    t.local_irq_count;
+  t.local_irq_count <- t.local_irq_count - 1
+
+let assert_not_in_irq t =
+  Crash.hv_assert (t.local_irq_count = 0)
+    "cpu%d: scheduling while local_irq_count = %d" t.cpu t.local_irq_count
+
+let clear_irq_count t = t.local_irq_count <- 0

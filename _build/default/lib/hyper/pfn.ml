@@ -1,0 +1,142 @@
+(** Page-frame descriptor table.
+
+    Each physical frame has a descriptor with a validation bit, a use
+    counter and a type -- the two components the paper singles out as
+    being left mutually inconsistent by a failure ("the validation bit
+    and the page use counter... can cause the hypervisor to hang
+    following recovery"). The consistency scan over this table is the
+    dominant component of NiLiHype's 22 ms recovery latency (21 ms for
+    8 GB). *)
+
+type page_type =
+  | Free
+  | Writable
+  | Page_table
+  | Segdesc
+  | Shared
+  | Xenheap
+
+type desc = {
+  index : int;
+  mutable validated : bool;
+  mutable use_count : int;
+  mutable ptype : page_type;
+  mutable owner : int; (* domid, -1 = unowned *)
+}
+
+type t = {
+  descs : desc array;
+  mutable free_head : int; (* cursor for simple free-frame allocation *)
+}
+
+let page_type_name = function
+  | Free -> "free"
+  | Writable -> "writable"
+  | Page_table -> "page_table"
+  | Segdesc -> "segdesc"
+  | Shared -> "shared"
+  | Xenheap -> "xenheap"
+
+let create ~frames =
+  {
+    descs =
+      Array.init frames (fun index ->
+          { index; validated = false; use_count = 0; ptype = Free; owner = -1 });
+    free_head = 0;
+  }
+
+let frames t = Array.length t.descs
+let get t i = t.descs.(i)
+
+(* Allocate a free frame for a domain. Raises if the table is exhausted
+   (campaign configurations are sized so this cannot happen in a healthy
+   run). *)
+let alloc_frame t ~owner ~ptype =
+  let n = frames t in
+  let rec find tries i =
+    if tries > n then Crash.panic "pfn: out of physical frames"
+    else begin
+      let d = t.descs.(i mod n) in
+      if d.ptype = Free && d.use_count = 0 && not d.validated then d
+      else find (tries + 1) (i + 1)
+    end
+  in
+  let d = find 0 t.free_head in
+  t.free_head <- (d.index + 1) mod n;
+  d.ptype <- ptype;
+  d.owner <- owner;
+  d.use_count <- 1;
+  d
+
+(* get_page / put_page: the non-idempotent reference-count pair the paper
+   discusses. Both assert like Xen does. *)
+let get_page d =
+  Crash.hv_assert (d.ptype <> Free) "get_page on free frame %d" d.index;
+  d.use_count <- d.use_count + 1
+
+let put_page d =
+  if d.use_count <= 0 then
+    Crash.panic "pfn %d: use_count underflow (double put)" d.index;
+  d.use_count <- d.use_count - 1;
+  if d.use_count = 0 then begin
+    d.validated <- false;
+    d.ptype <- Free;
+    d.owner <- -1
+  end
+
+(* validate / invalidate: setting the validation bit twice is a BUG() in
+   Xen -- exactly the hazard a retried non-idempotent hypercall hits. *)
+let validate d =
+  if d.validated then
+    Crash.panic "pfn %d: validating an already-validated frame" d.index;
+  Crash.hv_assert (d.use_count > 0) "validate with zero use_count on %d" d.index;
+  d.validated <- true
+
+let invalidate d =
+  if not d.validated then
+    Crash.panic "pfn %d: invalidating a non-validated frame" d.index;
+  d.validated <- false
+
+let consistent d =
+  match d.ptype with
+  | Free -> d.use_count = 0 && not d.validated && d.owner = -1
+  | Writable | Page_table | Segdesc | Shared | Xenheap ->
+    d.use_count > 0 && (d.use_count <= 1_000_000) && ((not d.validated) || d.use_count > 0)
+
+(* The recovery-time scan: walk every descriptor, detect validation-bit /
+   use-counter disagreement and repair it. Returns the number of
+   descriptors repaired. Latency is charged by the caller (proportional
+   to [frames t]). *)
+let scan_and_fix t =
+  let fixed = ref 0 in
+  Array.iter
+    (fun d ->
+      if not (consistent d) then begin
+        incr fixed;
+        if d.ptype = Free then begin
+          (* A frame marked free must carry no references. *)
+          d.use_count <- 0;
+          d.validated <- false;
+          d.owner <- -1
+        end
+        else if d.use_count <= 0 then begin
+          (* Typed page with no references: return it to the allocator. *)
+          d.use_count <- 0;
+          d.validated <- false;
+          d.ptype <- Free;
+          d.owner <- -1
+        end
+        else if d.use_count > 1_000_000 then begin
+          (* Wild counter value: clamp and drop validation. *)
+          d.use_count <- 1;
+          d.validated <- false
+        end
+      end)
+    t.descs;
+  !fixed
+
+let count_inconsistent t =
+  Array.fold_left (fun acc d -> if consistent d then acc else acc + 1) 0 t.descs
+
+let free_frames t =
+  Array.fold_left (fun acc d -> if d.ptype = Free then acc + 1 else acc) 0 t.descs

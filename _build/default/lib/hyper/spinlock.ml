@@ -1,0 +1,82 @@
+(** Hypervisor spinlocks.
+
+    Two populations, matching the paper's treatment:
+    - locks allocated in the heap (per-domain, per-CPU scheduler and timer
+      locks): ReHype already had a mechanism to release these, reused by
+      NiLiHype;
+    - locks in the static data segment ("static locks": console, domain
+      list, global heap lock...): ReHype gets them re-initialised by the
+      boot; NiLiHype gathers them into one linker segment and walks that
+      segment to unlock them ("Unlock static locks" enhancement).
+
+    In the simulator a lock left held by a discarded execution thread is
+    permanent: the next acquisition spins forever, which the watchdog
+    reports as a hang. *)
+
+type location =
+  | Static (* lives in the static data segment's lock section *)
+  | Heap (* allocated from the Xen heap *)
+
+type t = {
+  name : string;
+  location : location;
+  mutable holder : int option; (* CPU id of the holder *)
+  mutable acquisitions : int;
+}
+
+let create ~name ~location = { name; location; holder = None; acquisitions = 0 }
+
+let acquire t ~cpu =
+  match t.holder with
+  | None ->
+    t.holder <- Some cpu;
+    t.acquisitions <- t.acquisitions + 1
+  | Some c when c = cpu ->
+    (* Recursive acquisition deadlocks a non-recursive spinlock; Xen's
+       debug build asserts on it. *)
+    Crash.panic "spinlock %s: recursive acquisition on cpu%d" t.name cpu
+  | Some c ->
+    (* The holder's execution thread no longer exists (it was abandoned
+       by a failure), so this spin never ends. *)
+    Crash.hang "spinlock %s: spinning (held by dead thread on cpu%d)" t.name c
+
+let release t ~cpu =
+  match t.holder with
+  | Some c when c = cpu -> t.holder <- None
+  | Some c -> Crash.panic "spinlock %s: released by cpu%d, held by cpu%d" t.name cpu c
+  | None -> Crash.panic "spinlock %s: releasing an unheld lock" t.name
+
+let is_held t = t.holder <> None
+
+let force_unlock t = t.holder <- None
+
+(** The static-lock segment: the array the modified linker script
+    produces, over which the recovering CPU iterates. *)
+module Segment = struct
+  type lock = t
+
+  type t = { mutable locks : lock list }
+
+  let create () = { locks = [] }
+
+  let register t lock =
+    if lock.location <> Static then
+      invalid_arg "Spinlock.Segment.register: not a static lock";
+    t.locks <- lock :: t.locks
+
+  let iter t f = List.iter f t.locks
+
+  (* The "Unlock static locks" enhancement: walk the segment and unlock
+     any locked lock. Returns how many were released. *)
+  let unlock_all t =
+    let released = ref 0 in
+    iter t (fun l ->
+        if is_held l then begin
+          force_unlock l;
+          incr released
+        end);
+    !released
+
+  let any_held t = List.exists is_held t.locks
+  let count t = List.length t.locks
+end

@@ -1,0 +1,175 @@
+(** Software timer heap.
+
+    Xen keeps pending timer events in a binary heap examined from the
+    APIC timer interrupt; the handler reprograms the APIC to fire at the
+    deadline of the top node. Recurring events (system-time
+    synchronisation, scheduler ticks, the watchdog's soft tick) are
+    re-inserted by their handlers -- so a failure between pop and
+    re-insert silently loses them, the damage the "Reactivate recurring
+    timer events" enhancement repairs. *)
+
+type action =
+  | Time_sync (* system time calibration, global *)
+  | Sched_tick of int (* credit scheduler accounting on a CPU *)
+  | Watchdog_tick (* software counter the NMI handler checks *)
+  | Vcpu_timer of int * int (* (domid, vcpuid) singleshot timer *)
+  | Generic_oneshot
+
+type event = {
+  id : int;
+  mutable deadline : Sim.Time.ns;
+  period : Sim.Time.ns option; (* [Some p] for recurring events *)
+  action : action;
+  mutable queued : bool;
+  mutable active : bool; (* an inactive recurring event is "lost" *)
+}
+
+type t = {
+  mutable arr : event array;
+  mutable size : int;
+  mutable next_id : int;
+  mutable structure_ok : bool; (* heap-order integrity *)
+  mutable recurring : event list; (* registry of all recurring events *)
+}
+
+let create () =
+  { arr = [||]; size = 0; next_id = 0; structure_ok = true; recurring = [] }
+
+let size t = t.size
+
+let swap t i j =
+  let tmp = t.arr.(i) in
+  t.arr.(i) <- t.arr.(j);
+  t.arr.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.arr.(i).deadline < t.arr.(parent).deadline then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < t.size && t.arr.(l).deadline < t.arr.(!m).deadline then m := l;
+  if r < t.size && t.arr.(r).deadline < t.arr.(!m).deadline then m := r;
+  if !m <> i then begin
+    swap t i !m;
+    sift_down t !m
+  end
+
+let push_event t event =
+  if not t.structure_ok then
+    Crash.panic "timer heap: structure corrupted (insert walks bad links)";
+  let cap = Array.length t.arr in
+  if t.size = cap then begin
+    let narr = Array.make (max 16 (cap * 2)) event in
+    Array.blit t.arr 0 narr 0 t.size;
+    t.arr <- narr
+  end;
+  t.arr.(t.size) <- event;
+  event.queued <- true;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let add t ~deadline ?period action =
+  let event =
+    {
+      id = t.next_id;
+      deadline;
+      period;
+      action;
+      queued = false;
+      active = true;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  if period <> None then t.recurring <- event :: t.recurring;
+  push_event t event;
+  event
+
+let peek t = if t.size = 0 then None else Some t.arr.(0)
+
+let pop t =
+  if not t.structure_ok then
+    Crash.panic "timer heap: structure corrupted (pop finds bad ordering)";
+  if t.size = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.arr.(0) <- t.arr.(t.size);
+      sift_down t 0
+    end;
+    top.queued <- false;
+    Some top
+  end
+
+(* Pop the next event if its deadline has passed. The caller runs the
+   handler and (for recurring events) must re-insert via [requeue] --
+   the re-insert gap is the vulnerability window. *)
+let pop_due t ~now =
+  match peek t with
+  | Some e when e.deadline <= now -> pop t
+  | Some _ | None -> None
+
+let requeue t event ~now =
+  match event.period with
+  | None -> ()
+  | Some p ->
+    event.deadline <- now + p;
+    event.active <- true;
+    push_event t event
+
+let next_deadline t = match peek t with Some e -> Some e.deadline | None -> None
+
+(* Recovery: find recurring events that are neither queued nor about to
+   be re-inserted (their handler was abandoned mid-flight) and re-insert
+   them. Returns the number reactivated. *)
+let reactivate_recurring t ~now =
+  let reactivated = ref 0 in
+  List.iter
+    (fun e ->
+      if not e.queued then begin
+        (match e.period with
+        | Some p -> e.deadline <- now + p
+        | None -> ());
+        e.active <- true;
+        push_event t e;
+        incr reactivated
+      end)
+    t.recurring;
+  !reactivated
+
+let missing_recurring t = List.filter (fun e -> not e.queued) t.recurring
+
+let corrupt_structure t = t.structure_ok <- false
+let structure_ok t = t.structure_ok
+
+(* ReHype: the reboot constructs a fresh heap and re-registers the
+   standard recurring events; domain singleshot timers are re-created
+   from the preserved domain state. *)
+let rebuild_for_reboot t ~now =
+  t.structure_ok <- true;
+  t.size <- 0;
+  List.iter
+    (fun e ->
+      e.queued <- false;
+      (match e.period with Some p -> e.deadline <- now + p | None -> ());
+      e.active <- true;
+      push_event t e)
+    t.recurring
+
+let heap_property_holds t =
+  if not t.structure_ok then false
+  else begin
+    let ok = ref true in
+    for i = 1 to t.size - 1 do
+      let parent = (i - 1) / 2 in
+      if t.arr.(parent).deadline > t.arr.(i).deadline then ok := false
+    done;
+    !ok
+  end

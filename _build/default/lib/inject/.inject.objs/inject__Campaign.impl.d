@@ -1,0 +1,1 @@
+lib/inject/campaign.ml: Format Int64 List Run Sim

@@ -1,0 +1,1 @@
+lib/inject/corrupt.ml: Array Domain Heap Hyper Hypervisor List Pfn Sim Timer_heap

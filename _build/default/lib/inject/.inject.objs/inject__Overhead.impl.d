@@ -1,0 +1,1 @@
+lib/inject/overhead.ml: Config Cycle_account Domain Format Hyper Hypervisor Run Workloads

@@ -1,0 +1,1 @@
+lib/inject/profile.ml: Corrupt Fault Sim

@@ -1,0 +1,1 @@
+lib/inject/run.ml: Array Config Corrupt Crash Domain Fault Format Hw Hyper Hypercalls Hypervisor List Option Percpu Printf Profile Recovery Sim Workloads

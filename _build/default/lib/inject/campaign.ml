@@ -1,0 +1,90 @@
+(** Injection campaigns: many runs of a configuration, aggregated the way
+    Section VII-A reports them. *)
+
+type totals = {
+  mutable runs : int;
+  mutable non_manifested : int;
+  mutable sdc : int;
+  mutable detected : int;
+  mutable successes : int;
+  mutable no_vmf : int;
+  mutable recovered : int;
+  mutable latency_sum : Sim.Time.ns;
+  mutable latency_samples : int;
+  mutable failure_notes : (string * int) list;
+}
+
+let make_totals () =
+  {
+    runs = 0;
+    non_manifested = 0;
+    sdc = 0;
+    detected = 0;
+    successes = 0;
+    no_vmf = 0;
+    recovered = 0;
+    latency_sum = 0;
+    latency_samples = 0;
+    failure_notes = [];
+  }
+
+let note t key =
+  let count = try List.assoc key t.failure_notes with Not_found -> 0 in
+  t.failure_notes <- (key, count + 1) :: List.remove_assoc key t.failure_notes
+
+let add_outcome t (o : Run.outcome) =
+  t.runs <- t.runs + 1;
+  match o with
+  | Run.Non_manifested -> t.non_manifested <- t.non_manifested + 1
+  | Run.Silent_corruption -> t.sdc <- t.sdc + 1
+  | Run.Detected d ->
+    t.detected <- t.detected + 1;
+    if d.Run.success then t.successes <- t.successes + 1;
+    if d.Run.no_vmf then t.no_vmf <- t.no_vmf + 1;
+    if d.Run.recovered then t.recovered <- t.recovered + 1;
+    (match d.Run.failure_reason with
+    | Some why -> note t why
+    | None -> ());
+    if d.Run.recovery_latency > 0 then begin
+      t.latency_sum <- t.latency_sum + d.Run.recovery_latency;
+      t.latency_samples <- t.latency_samples + 1
+    end
+
+type result = {
+  config_label : string;
+  totals : totals;
+}
+
+(* Run [n] injections of [cfg], varying only the seed. *)
+let run ?(label = "") ?(base_seed = 10_000L) ~n (cfg : Run.config) =
+  let totals = make_totals () in
+  for i = 0 to n - 1 do
+    let seed = Int64.add base_seed (Int64.of_int i) in
+    let outcome = Run.run { cfg with Run.seed } in
+    add_outcome totals outcome
+  done;
+  { config_label = label; totals }
+
+let success_rate r =
+  Sim.Stats.proportion ~successes:r.totals.successes ~trials:(max 1 r.totals.detected)
+
+let no_vmf_rate r =
+  Sim.Stats.proportion ~successes:r.totals.no_vmf ~trials:(max 1 r.totals.detected)
+
+let breakdown r =
+  let n = float_of_int (max 1 r.totals.runs) in
+  ( 100.0 *. float_of_int r.totals.non_manifested /. n,
+    100.0 *. float_of_int r.totals.sdc /. n,
+    100.0 *. float_of_int r.totals.detected /. n )
+
+let mean_latency r =
+  if r.totals.latency_samples = 0 then None
+  else Some (r.totals.latency_sum / r.totals.latency_samples)
+
+let pp fmt r =
+  let nm, sdc, det = breakdown r in
+  Format.fprintf fmt
+    "%s: runs=%d outcomes: non-manifested %.1f%%, SDC %.1f%%, detected %.1f%% | \
+     success %a, noVMF %a@."
+    r.config_label r.totals.runs nm sdc det Sim.Stats.pp_proportion
+    (success_rate r) Sim.Stats.pp_proportion (no_vmf_rate r)

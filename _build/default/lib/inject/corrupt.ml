@@ -1,0 +1,105 @@
+(** Applying error propagation: a manifested fault that does not trap
+    immediately writes a wrong value somewhere. Each target below
+    mutates the *real* simulated structure; whether the damage is later
+    detected, silently tolerated, repaired by a recovery enhancement or
+    fatal emerges from the hypervisor's own assertions and the recovery
+    mechanics. *)
+
+open Hyper
+
+type target =
+  | Pfn_validated_flip (* validation bit of a random frame *)
+  | Pfn_use_count_skew (* reference counter off by a small delta *)
+  | Sched_metadata (* per-vCPU redundant current-records scrambled *)
+  | Timer_deadline (* a queued timer event fires at the wrong time *)
+  | Timer_structure (* heap-order links smashed: NiLiHype-fatal *)
+  | Heap_freelist (* allocator free list smashed: NiLiHype-fatal *)
+  | Static_scalar (* non-lock static segment data: reboot-repairable *)
+  | Domain_struct (* live domain struct payload: fatal for both *)
+  | Privvm_critical (* the PrivVM itself is taken out *)
+  | Recovery_handler (* the recovery routine's own state/code *)
+  | Guest_frame (* guest-owned memory: at most one VM affected *)
+
+let name = function
+  | Pfn_validated_flip -> "pfn_validated_flip"
+  | Pfn_use_count_skew -> "pfn_use_count_skew"
+  | Sched_metadata -> "sched_metadata"
+  | Timer_deadline -> "timer_deadline"
+  | Timer_structure -> "timer_structure"
+  | Heap_freelist -> "heap_freelist"
+  | Static_scalar -> "static_scalar"
+  | Domain_struct -> "domain_struct"
+  | Privvm_critical -> "privvm_critical"
+  | Recovery_handler -> "recovery_handler"
+  | Guest_frame -> "guest_frame"
+
+let random_domain hv rng ~app_only =
+  let doms =
+    if app_only then Hypervisor.app_domains hv else Hypervisor.all_domains hv
+  in
+  match doms with
+  | [] -> None
+  | l -> Some (List.nth l (Sim.Rng.int rng (List.length l)))
+
+let apply hv rng target =
+  match target with
+  | Pfn_validated_flip ->
+    let frames = Hypervisor.frames hv in
+    (* Bias towards frames that are actually in use, as wild writes land
+       in hot data structures. *)
+    let rec pick tries =
+      let d = Pfn.get hv.Hypervisor.pfn (Sim.Rng.int rng frames) in
+      if d.Pfn.use_count > 0 || tries > 16 then d else pick (tries + 1)
+    in
+    let d = pick 0 in
+    d.Pfn.validated <- not d.Pfn.validated
+  | Pfn_use_count_skew ->
+    let frames = Hypervisor.frames hv in
+    let rec pick tries =
+      let d = Pfn.get hv.Hypervisor.pfn (Sim.Rng.int rng frames) in
+      if d.Pfn.use_count > 0 || tries > 16 then d else pick (tries + 1)
+    in
+    let d = pick 0 in
+    let delta = [| -2; -1; 1; 2 |].(Sim.Rng.int rng 4) in
+    d.Pfn.use_count <- d.Pfn.use_count + delta
+  | Sched_metadata ->
+    let vcpus = Hypervisor.all_vcpus hv in
+    if vcpus <> [] then begin
+      let v = List.nth vcpus (Sim.Rng.int rng (List.length vcpus)) in
+      match Sim.Rng.int rng 3 with
+      | 0 -> v.Domain.is_current <- not v.Domain.is_current
+      | 1 -> v.Domain.curr_slot <- Sim.Rng.int rng (Hypervisor.cpu_count hv)
+      | _ ->
+        v.Domain.runstate <-
+          (if v.Domain.runstate = Domain.Running then Domain.Runnable
+           else Domain.Running)
+    end
+  | Timer_deadline ->
+    (* A deadline register gets a wrong value: the event fires late (or
+       early); heap order is preserved by re-sorting, as the comparison
+       code still works on the wrong value. *)
+    let timers = hv.Hypervisor.timers in
+    (match Timer_heap.peek timers with
+    | Some e ->
+      e.Timer_heap.deadline <-
+        e.Timer_heap.deadline + Sim.Time.us (Sim.Rng.int rng 5000)
+    | None -> ())
+  | Timer_structure -> Timer_heap.corrupt_structure hv.Hypervisor.timers
+  | Heap_freelist -> Heap.corrupt_freelist hv.Hypervisor.heap "wild write to chunk header"
+  | Static_scalar ->
+    hv.Hypervisor.static_data_ok <- false;
+    hv.Hypervisor.static_data_note <- "wild write to static data segment"
+  | Domain_struct ->
+    (match random_domain hv rng ~app_only:false with
+    | Some d -> d.Domain.struct_ok <- false
+    | None -> ())
+  | Privvm_critical ->
+    let d = Hypervisor.privvm hv in
+    d.Domain.guest_failed <- true
+  | Recovery_handler -> hv.Hypervisor.recovery_handler_ok <- false
+  | Guest_frame ->
+    (match random_domain hv rng ~app_only:true with
+    | Some d ->
+      if Sim.Rng.bool rng then d.Domain.guest_sdc <- true
+      else d.Domain.guest_failed <- true
+    | None -> ())

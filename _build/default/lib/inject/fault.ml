@@ -1,0 +1,27 @@
+(** Fault types injected by the Gigan-equivalent injector (Section VI-C).
+
+    - [Failstop]: the program counter is set to 0; execution stops
+      immediately at the injection point (always detected).
+    - [Register]: a random bit flip in a random register among the 16
+      GPRs, stack pointer, flags and program counter; models transient
+      datapath faults.
+    - [Code]: a random bit flip in the instruction bytes at the current
+      program counter; models instruction fetch/decode faults. The
+      injector repairs the corrupted code once an error is detected, so
+      the effect is transient -- but detection latency is longer, so
+      errors propagate further before detection. *)
+
+type t = Failstop | Register | Code
+
+let name = function
+  | Failstop -> "Failstop"
+  | Register -> "Register"
+  | Code -> "Code"
+
+let all = [ Failstop; Register; Code ]
+
+(* Campaign sizes from Section VII-A, chosen there for +/-2% CIs. *)
+let paper_campaign_size = function
+  | Failstop -> 1000
+  | Register -> 5000
+  | Code -> 2000

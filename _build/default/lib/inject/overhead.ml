@@ -1,0 +1,103 @@
+(** Hypervisor processing overhead in normal operation (Section VII-C).
+
+    The measurement mirrors the paper's methodology: run the same
+    deterministic workload (same seed => same activity stream) on stock
+    Xen and on the NiLiHype-modified hypervisor, count unhalted cycles
+    spent in hypervisor code, and report the percent increase. The
+    NiLiHype* variant disables the non-idempotent-hypercall logging,
+    isolating the logging's share of the overhead. *)
+
+open Hyper
+
+type measurement = {
+  label : string;
+  stock_cycles : int;
+  nilihype_cycles : int;
+  nilihype_nolog_cycles : int;
+  overhead_pct : float; (* NiLiHype vs stock *)
+  overhead_nolog_pct : float; (* NiLiHype* vs stock *)
+}
+
+type bench_setup = {
+  label : string;
+  setup : Run.setup;
+}
+
+let configurations =
+  [
+    { label = "BlkBench"; setup = Run.One_appvm Workloads.Workload.Blkbench };
+    { label = "UnixBench"; setup = Run.One_appvm Workloads.Workload.Unixbench };
+    { label = "NetBench"; setup = Run.One_appvm Workloads.Workload.Netbench };
+    { label = "3AppVM"; setup = Run.Three_appvm };
+  ]
+
+(* Run [activities] sampled activities with no fault injected and return
+   the hypervisor cycle count. *)
+let measure_cycles ~hv_config ~setup ~seed ~activities =
+  let cfg =
+    {
+      Run.default_config with
+      Run.seed;
+      setup;
+      hv_config;
+      mech = Run.No_recovery;
+    }
+  in
+  let st = Run.boot_state cfg in
+  (* In the 3AppVM overhead configuration all three AppVMs run from the
+     start (no recovery happens in these measurements). *)
+  let st =
+    match setup with
+    | Run.Three_appvm ->
+      let hv = st.Run.hv in
+      let dom3 =
+        Hypervisor.create_domain_internal hv ~privileged:false ~vcpu_pins:[ 3 ]
+          ~mem_frames:96
+      in
+      Hypervisor.start_vcpus hv;
+      let blk =
+        Workloads.Workload.create Workloads.Workload.Blkbench
+          ~domid:dom3.Domain.domid
+      in
+      let mix =
+        Workloads.System_mix.create
+          ~benchmarks:(blk :: st.Run.mix.Workloads.System_mix.benchmarks)
+          ~active_cpus:[ 0; 1; 2; 3 ]
+          ~blk_dom:(Some dom3.Domain.domid)
+          ~net_dom:st.Run.mix.Workloads.System_mix.net_dom
+      in
+      { st with Run.mix }
+    | Run.One_appvm _ -> st
+  in
+  for _ = 1 to activities do
+    Run.run_one_activity st
+  done;
+  Cycle_account.total st.Run.hv.Hypervisor.cycles
+
+let measure ?(seed = 4242L) ?(activities = 8000) (bench : bench_setup) =
+  let stock_cycles =
+    measure_cycles ~hv_config:Config.stock ~setup:bench.setup ~seed ~activities
+  in
+  let nilihype_cycles =
+    measure_cycles ~hv_config:Config.nilihype ~setup:bench.setup ~seed ~activities
+  in
+  let nilihype_nolog_cycles =
+    measure_cycles ~hv_config:Config.nilihype_no_logging ~setup:bench.setup ~seed
+      ~activities
+  in
+  {
+    label = bench.label;
+    stock_cycles;
+    nilihype_cycles;
+    nilihype_nolog_cycles;
+    overhead_pct =
+      Cycle_account.overhead_pct ~baseline:stock_cycles
+        ~instrumented:nilihype_cycles;
+    overhead_nolog_pct =
+      Cycle_account.overhead_pct ~baseline:stock_cycles
+        ~instrumented:nilihype_nolog_cycles;
+  }
+
+let pp fmt (m : measurement) =
+  Format.fprintf fmt "%-10s NiLiHype %5.2f%%   NiLiHype* %5.2f%%" m.label
+    m.overhead_pct m.overhead_nolog_pct

@@ -1,0 +1,82 @@
+(** Manifestation model: what a bit flip does, by fault type.
+
+    The *frequencies* here are the calibrated inputs of the simulation
+    (they stand in for the microarchitectural lottery of which register
+    bit a real flip hits); everything downstream -- where the damage
+    lands, whether it is detected, whether recovery repairs it -- is
+    mechanical. Calibration anchors: the outcome breakdowns of
+    Section VII-A (Register: 74.8% non-manifested / 5.6% SDC / 19.6%
+    detected; Code: 35.0% / 12.1% / 52.9%). *)
+
+type manifestation = {
+  corruptions : int; (* how many wild-write corruptions to apply *)
+  crash_now : [ `No | `Panic | `Hang ];
+  guest_hit : bool; (* additionally corrupt guest-owned state *)
+}
+
+let no_effect = { corruptions = 0; crash_now = `No; guest_hit = false }
+
+(* Failstop: program counter forced to 0 -- an immediate fatal trap with
+   no preceding corruption. *)
+let failstop = { corruptions = 0; crash_now = `Panic; guest_hit = false }
+
+(* Register faults: most flips hit a dead register or a value that never
+   influences control or memory traffic. *)
+let register_distribution =
+  [
+    (0.735, no_effect);
+    (0.135, { corruptions = 0; crash_now = `Panic; guest_hit = false });
+    (0.025, { corruptions = 0; crash_now = `Hang; guest_hit = false });
+    (0.018, { corruptions = 1; crash_now = `Panic; guest_hit = false });
+    (0.042, { corruptions = 1; crash_now = `No; guest_hit = false });
+    (0.030, { corruptions = 0; crash_now = `No; guest_hit = true });
+    (0.015, { corruptions = 1; crash_now = `No; guest_hit = true });
+  ]
+
+(* Code faults: corrupted instructions execute for longer before
+   trapping, so fewer flips are absorbed silently and the ones that
+   manifest propagate wider (two corruptions) before detection. *)
+let code_distribution =
+  [
+    (0.320, no_effect);
+    (0.330, { corruptions = 0; crash_now = `Panic; guest_hit = false });
+    (0.050, { corruptions = 0; crash_now = `Hang; guest_hit = false });
+    (0.095, { corruptions = 2; crash_now = `Panic; guest_hit = false });
+    (0.105, { corruptions = 2; crash_now = `No; guest_hit = false });
+    (0.060, { corruptions = 0; crash_now = `No; guest_hit = true });
+    (0.040, { corruptions = 1; crash_now = `No; guest_hit = true });
+  ]
+
+let sample_manifestation rng (fault : Fault.t) =
+  match fault with
+  | Fault.Failstop -> failstop
+  | Fault.Register -> Sim.Rng.choose_weighted rng register_distribution
+  | Fault.Code -> Sim.Rng.choose_weighted rng code_distribution
+
+(* Where a wild write lands. Weighted by the footprint and write
+   frequency of each structure class in hypervisor execution. The three
+   rarest classes are the ones the paper's failure analysis names: the
+   corrupted recovery routine, a failed PrivVM, and corrupted linked
+   lists / heaps. *)
+let corruption_targets =
+  [
+    (0.270, Corrupt.Pfn_validated_flip);
+    (0.170, Corrupt.Pfn_use_count_skew);
+    (0.160, Corrupt.Sched_metadata);
+    (0.120, Corrupt.Timer_deadline);
+    (0.020, Corrupt.Timer_structure);
+    (0.020, Corrupt.Heap_freelist);
+    (0.025, Corrupt.Static_scalar);
+    (0.045, Corrupt.Domain_struct);
+    (0.030, Corrupt.Privvm_critical);
+    (0.025, Corrupt.Recovery_handler);
+    (0.115, Corrupt.Guest_frame);
+  ]
+
+let sample_corruption_target rng = Sim.Rng.choose_weighted rng corruption_targets
+
+(* Probability that, at detection time, another CPU is mid-flight inside
+   the hypervisor (its thread is then also discarded with partial state
+   left behind). Hypervisor execution is <5% of cycles in typical
+   deployments, but detection is biased towards busy periods. *)
+let concurrent_busy_prob = 0.30

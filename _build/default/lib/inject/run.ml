@@ -1,0 +1,454 @@
+(** A single fault-injection run: boot the target system, run the
+    benchmarks, inject one fault through the two-level trigger, let
+    detection and recovery play out, then classify the outcome
+    (Section VI-C / VII-A). *)
+
+open Hyper
+
+type setup = One_appvm of Workloads.Workload.kind | Three_appvm
+
+type mech =
+  | No_recovery
+  | Mech of Recovery.Engine.mechanism * Recovery.Enhancement.set
+
+(* Which execution threads microreset discards (the design choice of
+   Section III-C). The paper's choice is all threads; the alternative --
+   discard only the faulting CPU's thread -- leaves the surviving
+   threads to collide with the recovery process's global state changes
+   (released locks, cleared IRQ counts). *)
+type discard_scope = Scope_all_threads | Scope_faulting_only
+
+type config = {
+  seed : int64;
+  fault : Fault.t;
+  setup : setup;
+  mech : mech;
+  hv_config : Config.t;
+  mconfig : Hw.Machine.config;
+  warmup_activities : int;
+  post_activities : int;
+  trigger_window_steps : int; (* second-level trigger range, in steps *)
+  discard_scope : discard_scope;
+  vcpus_per_cpu : int; (* >1 explores the paper's future-work configs *)
+}
+
+let default_config =
+  {
+    seed = 1L;
+    fault = Fault.Failstop;
+    setup = Three_appvm;
+    mech = Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+    hv_config = Config.nilihype;
+    mconfig = Hw.Machine.campaign_config;
+    warmup_activities = 150;
+    post_activities = 900;
+    trigger_window_steps = 2000;
+    discard_scope = Scope_all_threads;
+    vcpus_per_cpu = 1;
+  }
+
+type outcome =
+  | Non_manifested
+  | Silent_corruption
+  | Detected of detected
+
+and detected = {
+  detection : Crash.detection;
+  recovered : bool; (* the hypervisor survived and operates correctly *)
+  app_vms_affected : int; (* initial AppVMs failed or corrupted *)
+  new_vm_ok : bool; (* 3AppVM: post-recovery VM creation + BlkBench *)
+  success : bool; (* the paper's per-setup success definition *)
+  no_vmf : bool; (* detected errors with no AppVM failure at all *)
+  recovery_latency : Sim.Time.ns;
+  failure_reason : string option; (* why recovery failed, when it did *)
+}
+
+let outcome_class = function
+  | Non_manifested -> `Non_manifested
+  | Silent_corruption -> `Sdc
+  | Detected _ -> `Detected
+
+(* Mutable state threaded through a run. *)
+type state = {
+  cfg : config;
+  rng : Sim.Rng.t;
+  hv : Hypervisor.t;
+  mix : Workloads.System_mix.t;
+  benchmarks : Workloads.Workload.t list;
+  mutable last_cpu : int; (* CPU of the most recent hypervisor step *)
+  mutable fault_applied : bool;
+}
+
+let boot_state cfg =
+  let rng = Sim.Rng.create cfg.seed in
+  let clock = Sim.Clock.create () in
+  let hv_setup =
+    match cfg.setup with
+    | One_appvm _ -> Hypervisor.One_appvm
+    | Three_appvm -> Hypervisor.Three_appvm
+  in
+  let hv =
+    Hypervisor.boot ~mconfig:cfg.mconfig ~vcpus_per_cpu:cfg.vcpus_per_cpu
+      ~config:cfg.hv_config ~setup:hv_setup clock
+  in
+  let vcpus = cfg.vcpus_per_cpu in
+  let benchmarks =
+    match cfg.setup with
+    | One_appvm kind -> [ Workloads.Workload.create ~vcpus kind ~domid:1 ]
+    | Three_appvm ->
+      [
+        Workloads.Workload.create ~vcpus Workloads.Workload.Unixbench ~domid:1;
+        Workloads.Workload.create ~vcpus Workloads.Workload.Netbench ~domid:2;
+      ]
+  in
+  let active_cpus =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (d : Domain.t) ->
+           Array.to_list d.Domain.vcpus
+           |> List.map (fun (v : Domain.vcpu) -> v.Domain.processor))
+         (List.filter
+            (fun (d : Domain.t) -> not d.Domain.is_idle)
+            (Hypervisor.all_domains hv)))
+  in
+  let blk_dom =
+    List.find_opt (fun (b : Workloads.Workload.t) -> b.kind = Workloads.Workload.Blkbench) benchmarks
+    |> Option.map (fun (b : Workloads.Workload.t) -> b.domid)
+  in
+  let net_dom =
+    List.find_opt (fun (b : Workloads.Workload.t) -> b.kind = Workloads.Workload.Netbench) benchmarks
+    |> Option.map (fun (b : Workloads.Workload.t) -> b.domid)
+  in
+  let mix =
+    Workloads.System_mix.create ~benchmarks ~active_cpus ~blk_dom ~net_dom
+  in
+  { cfg; rng; hv; mix; benchmarks; last_cpu = 0; fault_applied = false }
+
+(* Execute one sampled activity. Timer ticks fire when the APIC deadline
+   arrives, so the clock jumps there first; a CPU whose APIC is disarmed
+   never gets another tick. Activities are separated by an
+   exponential-ish think-time so software timer deadlines actually come
+   due during a run. *)
+let run_one_activity st =
+  let gap = Sim.Time.us (30 + Sim.Rng.int st.rng 340) in
+  Sim.Clock.advance_by st.hv.Hypervisor.clock gap;
+  let activity = Workloads.System_mix.sample st.rng st.mix in
+  match activity with
+  | Hypervisor.Timer_tick cpu ->
+    let apic = (Hw.Machine.cpu st.hv.Hypervisor.machine cpu).Hw.Cpu.apic in
+    (match apic.Hw.Apic.timer_deadline with
+    | None -> () (* disarmed: this CPU gets no more timer interrupts *)
+    | Some d ->
+      (* The tick happens when the one-shot deadline arrives. *)
+      if d > Sim.Clock.now st.hv.Hypervisor.clock then
+        Sim.Clock.advance_to st.hv.Hypervisor.clock d;
+      Hypervisor.execute st.hv st.rng activity)
+  | _ -> Hypervisor.execute st.hv st.rng activity
+
+(* Track which CPU executes each step so detection knows where it was. *)
+let install_cpu_tracker st =
+  st.hv.Hypervisor.step_hook <-
+    Some (fun _hv ctx -> st.last_cpu <- ctx.Hypervisor.cpu)
+
+(* Arm the two-level trigger: after [countdown] further hypervisor
+   steps, the sampled manifestation is applied. *)
+let arm_fault st =
+  let manifestation = Profile.sample_manifestation st.rng st.cfg.fault in
+  let countdown = ref (1 + Sim.Rng.int st.rng st.cfg.trigger_window_steps) in
+  st.hv.Hypervisor.step_hook <-
+    Some
+      (fun hv ctx ->
+        st.last_cpu <- ctx.Hypervisor.cpu;
+        if not st.fault_applied then begin
+          decr countdown;
+          if !countdown <= 0 then begin
+            st.fault_applied <- true;
+            for _ = 1 to manifestation.Profile.corruptions do
+              Corrupt.apply hv st.rng (Profile.sample_corruption_target st.rng)
+            done;
+            if manifestation.Profile.guest_hit then
+              Corrupt.apply hv st.rng Corrupt.Guest_frame;
+            match manifestation.Profile.crash_now with
+            | `Panic ->
+              Crash.panic "injected fault on cpu%d in %s/%s" ctx.Hypervisor.cpu
+                (Hypervisor.activity_name ctx.Hypervisor.activity)
+                ctx.Hypervisor.step_name
+            | `Hang ->
+              Crash.hang "injected fault wedges cpu%d in %s" ctx.Hypervisor.cpu
+                (Hypervisor.activity_name ctx.Hypervisor.activity)
+            | `No -> ()
+          end
+        end)
+
+(* Model the execution threads in flight on the *other* CPUs at
+   detection: with some probability each was mid-request; its thread is
+   abandoned with partial state in place. Returns the CPUs that were
+   busy (needed by the Scope_faulting_only ablation). *)
+let abandon_concurrent_work st ~faulted_cpu =
+  let busy = ref [] in
+  List.iter
+    (fun cpu ->
+      if cpu <> faulted_cpu
+         && Sim.Rng.float st.rng 1.0 < Profile.concurrent_busy_prob
+      then begin
+        busy := cpu :: !busy;
+        let bench_on_cpu =
+          List.find_opt
+            (fun (b : Workloads.Workload.t) ->
+              match Hypervisor.domain st.hv b.Workloads.Workload.domid with
+              | Some d ->
+                Array.exists
+                  (fun (v : Domain.vcpu) -> v.Domain.processor = cpu)
+                  d.Domain.vcpus
+              | None -> false)
+            st.benchmarks
+        in
+        let activity =
+          match bench_on_cpu with
+          | Some b when Sim.Rng.float st.rng 1.0 < 0.7 ->
+            Workloads.Workload.sample_activity st.rng b
+          | _ -> Hypervisor.Timer_tick cpu
+        in
+        let stop_at = Sim.Rng.int st.rng 14 in
+        (* The concurrent thread may itself trip over state the fault
+           already damaged (e.g. spin on a dead lock); either way it is
+           abandoned here, partial state left in place. *)
+        (try Hypervisor.execute_partial st.hv st.rng activity ~stop_at
+         with Crash.Hypervisor_crash _ -> ())
+      end)
+    st.mix.Workloads.System_mix.active_cpus;
+  !busy
+
+(* The error-detection path runs in exception/NMI context on every CPU
+   (the detecting CPU traps; the others are stopped by IPI), so each
+   CPU's interrupt-nesting counter is bumped and stays bumped when the
+   threads are discarded -- which is why "Clear IRQ count" is the very
+   first enhancement needed. *)
+let enter_detection_context st =
+  Array.iter Percpu.irq_enter st.hv.Hypervisor.percpu
+
+let count_affected_app_vms st ~initial_app_domids =
+  List.fold_left
+    (fun acc domid ->
+      match Hypervisor.domain st.hv domid with
+      | Some d -> if Domain.affected d then acc + 1 else acc
+      | None -> acc + 1)
+    0 initial_app_domids
+
+(* Run the post-recovery phase: resume the VMs (retrying abandoned
+   interactions), run the benchmarks to completion, and in the 3AppVM
+   setup create the third AppVM and run BlkBench in it. Returns
+   [(hv_ok, new_vm_ok)]. *)
+let post_recovery_phase st =
+  let hv = st.hv in
+  let hv_ok = ref true in
+  let new_vm_ok = ref true in
+  let reason = ref None in
+  let fail why = if !reason = None then reason := Some why in
+  (try
+     (* Retry interactions abandoned at detection. *)
+     List.iter
+       (fun (v : Domain.vcpu) ->
+         if v.Domain.lost_work then begin
+           (match Hypervisor.domain hv v.Domain.domid with
+           | Some d -> d.Domain.guest_failed <- true
+           | None -> ());
+           v.Domain.lost_work <- false
+         end;
+         if v.Domain.retry_pending then Hypervisor.retry_hypercall hv st.rng v;
+         if v.Domain.syscall_retry_pending then Hypervisor.retry_syscall hv v;
+         if not v.Domain.fsgs_valid then begin
+           (* Guest processes resumed with clobbered FS/GS crash. *)
+           match Hypervisor.domain hv v.Domain.domid with
+           | Some d -> d.Domain.guest_failed <- true
+           | None -> ()
+         end)
+       (Hypervisor.all_vcpus hv);
+     (* Interrupt vectors left in service block further delivery of that
+        vector. A blocked timer vector is equivalent to a disarmed APIC
+        (the CPU starves); blocked device vectors stall the paravirtual
+        I/O of every VM, failing the benchmarks. *)
+     Hw.Machine.iter_cpus hv.Hypervisor.machine (fun c ->
+         let in_service = c.Hw.Cpu.apic.Hw.Apic.in_service in
+         if List.exists (fun v -> v = 0x31 || v = 0x32) in_service then
+           List.iter
+             (fun (b : Workloads.Workload.t) ->
+               match Hypervisor.domain hv b.Workloads.Workload.domid with
+               | Some d -> d.Domain.guest_failed <- true
+               | None -> ())
+             st.benchmarks;
+         if List.mem 0xf0 in_service then Hw.Apic.disarm_timer c.Hw.Cpu.apic);
+     (* A CPU whose APIC timer was left disarmed gets no timer
+        interrupts: the vCPU pinned there starves. If that CPU belongs
+        to the PrivVM the platform is dead. *)
+     Hw.Machine.iter_cpus hv.Hypervisor.machine (fun c ->
+         if not (Hw.Apic.timer_armed c.Hw.Cpu.apic) then begin
+           let victims =
+             List.filter
+               (fun (v : Domain.vcpu) -> v.Domain.processor = c.Hw.Cpu.id)
+               (Hypervisor.all_vcpus hv)
+           in
+           List.iter
+             (fun (v : Domain.vcpu) ->
+               match Hypervisor.domain hv v.Domain.domid with
+               | Some d ->
+                 if d.Domain.privileged then begin
+                   hv_ok := false;
+                   fail "PrivVM CPU starved: APIC timer disarmed"
+                 end
+                 else d.Domain.guest_failed <- true
+               | None -> ())
+             victims
+         end);
+     (* Resume the benchmarks for their remaining duration. *)
+     for _ = 1 to st.cfg.post_activities do
+       if !hv_ok then run_one_activity st
+     done;
+     (* The PrivVM must still work for the platform to be healthy. *)
+     if (Hypervisor.privvm hv).Domain.guest_failed then begin
+       hv_ok := false;
+       fail "PrivVM failed"
+     end;
+     (* 3AppVM: create the third AppVM and run BlkBench in it. *)
+     (match st.cfg.setup with
+     | Three_appvm ->
+       if !hv_ok then begin
+         (try
+            Hypervisor.execute hv st.rng
+              (Hypervisor.Hypercall
+                 { domid = 0; vid = 0; kind = Hypercalls.Domctl_create_domain })
+          with Crash.Hypervisor_crash _ -> new_vm_ok := false);
+         (match
+            List.find_opt
+              (fun (d : Domain.t) ->
+                (not d.Domain.privileged)
+                && (not d.Domain.is_idle)
+                && d.Domain.domid >= 3)
+              (Hypervisor.all_domains hv)
+          with
+         | Some d when !new_vm_ok ->
+           let blk = Workloads.Workload.create Workloads.Workload.Blkbench ~domid:d.Domain.domid in
+           (try
+              for _ = 1 to 150 do
+                Hypervisor.execute hv st.rng
+                  (Workloads.Workload.sample_activity st.rng blk)
+              done;
+              if Domain.affected d then new_vm_ok := false
+            with Crash.Hypervisor_crash _ -> new_vm_ok := false)
+         | Some _ | None -> new_vm_ok := false)
+       end
+       else new_vm_ok := false
+     | One_appvm _ -> ());
+     (* Final health check: residual inconsistencies that the benchmarks
+        did not happen to touch still leave the hypervisor latently
+        broken. *)
+     if !hv_ok then begin
+       let report = Hypervisor.audit hv in
+       if not (Hypervisor.audit_clean report) then begin
+         hv_ok := false;
+         fail (Format.asprintf "residual inconsistency: %a" Hypervisor.pp_audit report)
+       end
+     end
+   with Crash.Hypervisor_crash d ->
+     (* The hypervisor failed again after recovery. *)
+     hv_ok := false;
+     fail ("post-recovery crash: " ^ Crash.describe d));
+  (!hv_ok, !new_vm_ok, !reason)
+
+(* Execute one complete fault-injection run. *)
+let run (cfg : config) : outcome =
+  let st = boot_state cfg in
+  install_cpu_tracker st;
+  (* Warm-up: the first-level trigger fires well after benchmark start. *)
+  for _ = 1 to cfg.warmup_activities do
+    run_one_activity st
+  done;
+  let initial_app_domids =
+    List.map
+      (fun (d : Domain.t) -> d.Domain.domid)
+      (Hypervisor.app_domains st.hv)
+  in
+  arm_fault st;
+  (* Run until detection or end of benchmark. *)
+  let detection = ref None in
+  (try
+     for _ = 1 to cfg.post_activities do
+       run_one_activity st
+     done
+   with Crash.Hypervisor_crash d -> detection := Some d);
+  match !detection with
+  | None ->
+    st.hv.Hypervisor.step_hook <- None;
+    let any_sdc =
+      List.exists
+        (fun (d : Domain.t) -> d.Domain.guest_sdc || d.Domain.guest_failed)
+        (Hypervisor.app_domains st.hv)
+    in
+    if any_sdc then Silent_corruption else Non_manifested
+  | Some det ->
+    st.hv.Hypervisor.step_hook <- None;
+    let faulted_cpu = st.last_cpu in
+    Sim.Clock.advance_by st.hv.Hypervisor.clock (Crash.detection_latency det);
+    let busy_cpus = abandon_concurrent_work st ~faulted_cpu in
+    enter_detection_context st;
+    let recovery_result =
+      match cfg.mech with
+      | No_recovery -> Error "no recovery mechanism"
+      | Mech (mechanism, enh) -> (
+        try Ok (Recovery.Engine.recover mechanism st.hv ~enh ~detected_on:faulted_cpu)
+        with Crash.Hypervisor_crash d -> Error (Crash.describe d))
+    in
+    (* Scope_faulting_only ablation: the surviving threads on the other
+       CPUs resume after recovery and collide with its global state
+       changes -- their IRQ-nesting counters were zeroed while they were
+       still inside handlers, and the locks they held were force-
+       released, so their epilogues trip assertions. *)
+    let recovery_result =
+      match (recovery_result, cfg.discard_scope, busy_cpus) with
+      | Ok _, Scope_faulting_only, _ :: _ ->
+        Error
+          (Printf.sprintf
+             "surviving thread on cpu%d: irq_exit underflow after recovery \
+              cleared its nesting counter"
+             (List.hd busy_cpus))
+      | (Ok _ | Error _), _, _ -> recovery_result
+    in
+    (match recovery_result with
+    | Error why ->
+      Detected
+        {
+          detection = det;
+          recovered = false;
+          app_vms_affected = List.length initial_app_domids;
+          new_vm_ok = false;
+          success = false;
+          no_vmf = false;
+          recovery_latency = 0;
+          failure_reason = Some ("recovery aborted: " ^ why);
+        }
+    | Ok recovery ->
+      let hv_ok, new_vm_ok, reason = post_recovery_phase st in
+      let app_vms_affected =
+        if hv_ok then count_affected_app_vms st ~initial_app_domids
+        else List.length initial_app_domids
+      in
+      let success, no_vmf =
+        match cfg.setup with
+        | One_appvm _ ->
+          let s = hv_ok && app_vms_affected = 0 in
+          (s, s)
+        | Three_appvm ->
+          ( hv_ok && new_vm_ok && app_vms_affected <= 1,
+            hv_ok && new_vm_ok && app_vms_affected = 0 )
+      in
+      Detected
+        {
+          detection = det;
+          recovered = hv_ok;
+          app_vms_affected;
+          new_vm_ok;
+          success;
+          no_vmf;
+          recovery_latency = recovery.Recovery.Engine.latency;
+          failure_reason = reason;
+        })

@@ -1,0 +1,1 @@
+lib/recovery/common.ml: Config Crash Domain Enhancement Heap Hw Hyper Hypercalls Hypervisor Latency_model List Sim Timer_heap

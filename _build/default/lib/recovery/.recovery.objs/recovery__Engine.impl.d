@@ -1,0 +1,1 @@
+lib/recovery/engine.ml: Hyper Microreboot Microreset Sim

@@ -1,0 +1,1 @@
+lib/recovery/engine.mli: Enhancement Hyper Sim

@@ -1,0 +1,1 @@
+lib/recovery/enhancement.ml: Hyper List

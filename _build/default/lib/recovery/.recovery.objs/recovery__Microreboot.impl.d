@@ -1,0 +1,1 @@
+lib/recovery/microreboot.ml: Array Common Config Crash Domain Enhancement Heap Hw Hyper Hypervisor Latency_model List Percpu Pfn Sched Sim Spinlock Timer_heap

@@ -1,0 +1,1 @@
+lib/recovery/microreboot.mli: Enhancement Hyper

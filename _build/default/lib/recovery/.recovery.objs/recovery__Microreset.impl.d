@@ -1,0 +1,1 @@
+lib/recovery/microreset.ml: Array Common Enhancement Hw Hyper Hypervisor Latency_model List Percpu Pfn Sched Sim Spinlock Timer_heap

@@ -1,0 +1,1 @@
+lib/recovery/microreset.mli: Enhancement Hyper

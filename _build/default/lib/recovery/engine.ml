@@ -1,0 +1,37 @@
+(** Unified interface over the two component-level recovery mechanisms. *)
+
+type mechanism =
+  | Nilihype (* microreset: reset to a quiescent state, no reboot *)
+  | Rehype (* microreboot: boot a new instance, re-integrate state *)
+
+let mechanism_name = function Nilihype -> "NiLiHype" | Rehype -> "ReHype"
+
+(* The normal-operation configuration each mechanism requires. *)
+let config = function
+  | Nilihype -> Hyper.Config.nilihype
+  | Rehype -> Hyper.Config.rehype
+
+type outcome = {
+  mechanism : mechanism;
+  latency : Sim.Time.ns;
+  breakdown : Hyper.Latency_model.breakdown;
+}
+
+(* Run recovery; raises [Hyper.Crash.Hypervisor_crash] if the recovery
+   process itself fails. *)
+let recover mechanism (hv : Hyper.Hypervisor.t) ~enh ~detected_on =
+  let start = Sim.Clock.now hv.Hyper.Hypervisor.clock in
+  let breakdown =
+    match mechanism with
+    | Nilihype ->
+      let r = Microreset.recover hv ~enh ~detected_on in
+      r.Microreset.breakdown
+    | Rehype ->
+      let r = Microreboot.recover hv ~enh ~detected_on in
+      r.Microreboot.breakdown
+  in
+  {
+    mechanism;
+    latency = Sim.Clock.now hv.Hyper.Hypervisor.clock - start;
+    breakdown;
+  }

@@ -1,0 +1,25 @@
+(** Unified interface over the two component-level recovery mechanisms. *)
+
+type mechanism =
+  | Nilihype (* microreset: reset to a quiescent state, no reboot *)
+  | Rehype (* microreboot: boot a new instance, re-integrate state *)
+
+val mechanism_name : mechanism -> string
+
+val config : mechanism -> Hyper.Config.t
+(** The normal-operation configuration each mechanism requires (ReHype
+    additionally needs IO-APIC write logging and boot-line logging). *)
+
+type outcome = {
+  mechanism : mechanism;
+  latency : Sim.Time.ns; (* simulated end-to-end recovery latency *)
+  breakdown : Hyper.Latency_model.breakdown;
+}
+
+val recover :
+  mechanism ->
+  Hyper.Hypervisor.t ->
+  enh:Enhancement.set ->
+  detected_on:int ->
+  outcome
+(** Raises [Hyper.Crash.Hypervisor_crash] when recovery itself fails. *)

@@ -1,0 +1,22 @@
+(** ReHype: microreboot-based component-level recovery (Section III-B).
+
+    Boots a new hypervisor instance — hardware re-initialisation, fresh
+    memory state — then re-integrates preserved state from the failed
+    instance (non-free heap pages, page tables, domain structures). The
+    reboot gives "free" repairs microreset needs explicit enhancements
+    for, at a ~713 ms recovery latency (Table II) and extra
+    normal-operation logging (IO-APIC writes, boot-line options). *)
+
+type result = {
+  breakdown : Hyper.Latency_model.breakdown;
+  heap_locks_released : int;
+  pfn_fixed : int;
+  ioapic_restored : bool; (* routing replayed from the write log *)
+}
+
+val recover :
+  Hyper.Hypervisor.t -> enh:Enhancement.set -> detected_on:int -> result
+(** Raises [Hyper.Crash.Hypervisor_crash] if the reboot cannot complete
+    (recovery handler corrupted, boot-line options not logged...). *)
+
+val table2_breakdown : result -> Hyper.Latency_model.breakdown

@@ -1,0 +1,105 @@
+(** NiLiHype: microreset-based recovery of the hypervisor (Section V).
+
+    When an error is detected, the recovery handler is invoked on the
+    detecting CPU. It disables interrupts on its own CPU and interrupts
+    all others, which disable theirs; every CPU discards its execution
+    thread within the hypervisor by resetting its stack pointer, then
+    all but the detecting CPU busy-wait while it applies the
+    enhancements. No reboot: the entire global state stays in place,
+    which is why recovery completes in ~22 ms instead of ~713 ms. *)
+
+open Hyper
+
+type result = {
+  breakdown : Latency_model.breakdown;
+  heap_locks_released : int;
+  static_locks_released : int;
+  sched_fixes : int;
+  pfn_fixed : int;
+  recurring_reactivated : int;
+}
+
+(* Perform microreset recovery. Raises [Crash.Hypervisor_crash] if the
+   recovery process itself fails (e.g. the handler was corrupted). *)
+let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
+  Common.check_recovery_handler hv;
+  let log = Common.make_log hv.Hypervisor.clock in
+  let cpus = Hypervisor.cpu_count hv in
+  let has e = Enhancement.mem enh e in
+
+  (* Phase 1: stop the world. The detecting CPU disables its interrupts
+     and IPIs the others; each CPU discards its hypervisor execution
+     thread (stack pointer reset) and busy-waits. *)
+  Common.timed log "Interrupt CPUs, discard execution threads"
+    (Latency_model.microreset_interrupt_cpus ~cpus)
+    (fun () ->
+      Hw.Machine.iter_cpus hv.Hypervisor.machine (fun c ->
+          Hw.Cpu.disable_interrupts c;
+          Hw.Cpu.discard_hypervisor_stack c;
+          c.Hw.Cpu.state <-
+            (if c.Hw.Cpu.id = detected_on then Hw.Cpu.Running else Hw.Cpu.Busy_wait));
+      Array.iter
+        (fun (p : Percpu.t) -> p.Percpu.in_hypercall_depth <- 0)
+        hv.Hypervisor.percpu);
+
+  (* Phase 2: state-consistency enhancements, run by the detecting CPU. *)
+  let heap_locks_released = ref 0 in
+  let static_locks_released = ref 0 in
+  let sched_fixes = ref 0 in
+  let recurring_reactivated = ref 0 in
+  Common.timed log "Apply state-consistency enhancements"
+    Latency_model.microreset_enhancements (fun () ->
+      if has Enhancement.Clear_irq_count then
+        Array.iter Percpu.clear_irq_count hv.Hypervisor.percpu;
+      if has Enhancement.Release_heap_locks then
+        heap_locks_released := Common.release_heap_locks hv;
+      if has Enhancement.Unlock_static_locks then
+        static_locks_released :=
+          Spinlock.Segment.unlock_all hv.Hypervisor.static_segment;
+      if has Enhancement.Ack_interrupts then Common.ack_interrupts hv;
+      if has Enhancement.Sched_consistency then
+        sched_fixes :=
+          Sched.fix_from_percpu hv.Hypervisor.sched (Hypervisor.all_vcpus hv);
+      if has Enhancement.Reactivate_recurring_timers then
+        recurring_reactivated :=
+          Timer_heap.reactivate_recurring hv.Hypervisor.timers
+            ~now:(Sim.Clock.now hv.Hypervisor.clock);
+      Common.setup_retries hv ~enh;
+      Common.restore_fs_gs hv ~enh);
+
+  (* Phase 3: page-frame descriptor consistency scan -- the dominant
+     latency component (21 ms for 8 GB), proportional to memory size. *)
+  let pfn_fixed = ref 0 in
+  if has Enhancement.Pfn_consistency_scan then
+    Common.timed log "Restore and check consistency of page frame entries"
+      (Latency_model.pfn_scan ~frames:(Hypervisor.frames hv))
+      (fun () -> pfn_fixed := Pfn.scan_and_fix hv.Hypervisor.pfn);
+
+  (* Phase 4: reprogram hardware timers and resume normal operation. *)
+  Common.timed log "Reprogram timers, resume normal operation"
+    Latency_model.microreset_misc (fun () ->
+      if has Enhancement.Reprogram_apic_timer then
+        Common.reprogram_apic_timers hv;
+      Hw.Machine.iter_cpus hv.Hypervisor.machine (fun c ->
+          Hw.Cpu.enable_interrupts c;
+          c.Hw.Cpu.state <- Hw.Cpu.Running));
+
+  {
+    breakdown = Common.breakdown log;
+    heap_locks_released = !heap_locks_released;
+    static_locks_released = !static_locks_released;
+    sched_fixes = !sched_fixes;
+    pfn_fixed = !pfn_fixed;
+    recurring_reactivated = !recurring_reactivated;
+  }
+
+(* The Table III presentation: every step taking more than 1 ms is
+   listed individually; the rest are "Others". *)
+let table3_breakdown (r : result) =
+  let big, small =
+    List.partition
+      (fun (_, d) -> d >= Sim.Time.ms 1)
+      r.breakdown.Latency_model.steps
+  in
+  let others = List.fold_left (fun acc (_, d) -> acc + d) 0 small in
+  { Latency_model.steps = big @ [ ("Others", others) ] }

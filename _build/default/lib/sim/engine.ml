@@ -1,0 +1,60 @@
+(** Discrete-event simulation engine: a virtual clock plus an event queue
+    of callbacks. The engine is single-threaded and deterministic. *)
+
+type t = {
+  clock : Clock.t;
+  queue : (t -> unit) Event_queue.t;
+  rng : Rng.t;
+  mutable steps : int;
+  mutable step_limit : int; (* safety valve against runaway simulations *)
+}
+
+type handle = (t -> unit) Event_queue.handle
+
+exception Step_limit_exceeded
+
+let create ?(seed = 42L) () =
+  {
+    clock = Clock.create ();
+    queue = Event_queue.create ();
+    rng = Rng.create seed;
+    steps = 0;
+    step_limit = 50_000_000;
+  }
+
+let now t = Clock.now t.clock
+let rng t = t.rng
+let clock t = t.clock
+
+let schedule_at t ~time f =
+  if time < now t then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time f
+
+let schedule t ~delay f = schedule_at t ~time:(now t + delay) f
+let cancel = Event_queue.cancel
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    Clock.advance_to t.clock time;
+    t.steps <- t.steps + 1;
+    if t.steps > t.step_limit then raise Step_limit_exceeded;
+    f t;
+    true
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= deadline -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if Clock.now t.clock < deadline then Clock.advance_to t.clock deadline
+
+let run t =
+  while step t do
+    ()
+  done
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,93 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties are broken by insertion sequence so execution order is
+    deterministic. Events may be cancelled through their handle. *)
+
+type 'a entry = {
+  time : Time.ns;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  dummy : 'a entry option ref;
+}
+
+type 'a handle = 'a entry
+
+let create () = { heap = [||]; size = 0; next_seq = 0; dummy = ref None }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = max 16 (cap * 2) in
+    let nheap = Array.make ncap entry in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  entry
+
+let cancel handle = handle.cancelled <- true
+let is_cancelled handle = handle.cancelled
+
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    if top.cancelled then pop t else Some (top.time, top.payload)
+  end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else if t.heap.(0).cancelled then begin
+    (* Drop cancelled entries lazily. *)
+    ignore (pop t);
+    peek_time t
+  end
+  else Some t.heap.(0).time

@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64 step: advance state by the golden gamma and mix. *)
+let next_state t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = mix (next_state t)
+
+let split t = { state = int64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Modulo bias is negligible for the bounds used here (<= 2^30). *)
+  let v = Int64.to_int (Int64.logand (int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod n
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bit64 t = int t 64
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_weighted t weights =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.choose_weighted: no positive weight";
+  let target = float t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.choose_weighted: empty list"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest ->
+      let acc = acc +. w in
+      if target < acc then x else go acc rest
+  in
+  go 0.0 weights
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic decision in the simulator draws from an explicit
+    [Rng.t] so that campaigns are exactly reproducible from their seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing the current position. *)
+
+val split : t -> t
+(** Derive a statistically independent child generator, advancing the
+    parent by one step. Used to give each subsystem its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform over [0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform over [0, x). *)
+
+val bool : t -> bool
+
+val bit64 : t -> int
+(** Uniform bit position in [0, 64). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_weighted : t -> (float * 'a) list -> 'a
+(** Sample according to the given non-negative weights (need not be
+    normalised). Raises [Invalid_argument] on an empty or all-zero list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

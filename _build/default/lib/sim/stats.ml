@@ -1,0 +1,62 @@
+(** Statistics helpers used to report campaign results with the same
+    95% confidence intervals the paper quotes. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+let z_95 = 1.959964
+
+(* Normal-approximation half-width of the 95% CI for a proportion, the
+   convention used in the paper's "rate +/- x%" figures. *)
+let proportion_ci_half ~successes ~trials =
+  if trials <= 0 then nan
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    z_95 *. sqrt (p *. (1.0 -. p) /. n)
+  end
+
+(* Wilson score interval: better behaved near 0% and 100%. *)
+let wilson_interval ~successes ~trials =
+  if trials <= 0 then (nan, nan)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z = z_95 in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+    in
+    (max 0.0 (centre -. half), min 1.0 (centre +. half))
+  end
+
+let mean_ci_half xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ -> z_95 *. stddev xs /. sqrt (float_of_int (List.length xs))
+
+type proportion = { successes : int; trials : int }
+
+let proportion ~successes ~trials = { successes; trials }
+
+let rate p =
+  if p.trials = 0 then nan
+  else float_of_int p.successes /. float_of_int p.trials
+
+let pp_proportion fmt p =
+  let half = proportion_ci_half ~successes:p.successes ~trials:p.trials in
+  Format.fprintf fmt "%.1f%% +/- %.1f%%" (100.0 *. rate p) (100.0 *. half)

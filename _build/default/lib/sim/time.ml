@@ -1,0 +1,23 @@
+(** Simulated time, measured in integer nanoseconds.
+
+    63-bit nanoseconds cover ~292 years of simulated time, far beyond any
+    campaign. All durations in the code base are expressed through the
+    constructors below so that units are explicit at call sites. *)
+
+type ns = int
+
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+
+let to_us n = float_of_int n /. 1e3
+let to_ms n = float_of_int n /. 1e6
+let to_s n = float_of_int n /. 1e9
+
+let pp_ms fmt n = Format.fprintf fmt "%.3fms" (to_ms n)
+let pp fmt n =
+  if n >= s 1 then Format.fprintf fmt "%.3fs" (to_s n)
+  else if n >= ms 1 then Format.fprintf fmt "%.3fms" (to_ms n)
+  else if n >= us 1 then Format.fprintf fmt "%.3fus" (to_us n)
+  else Format.fprintf fmt "%dns" n

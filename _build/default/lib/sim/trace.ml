@@ -1,0 +1,57 @@
+(** Bounded in-memory trace of simulator events, for debugging runs and
+    for inspecting what a failed recovery did. *)
+
+type level = Debug | Info | Warn | Error
+
+type entry = { time : Time.ns; level : level; message : string }
+
+type t = {
+  mutable entries : entry array;
+  mutable size : int;
+  mutable head : int;
+  capacity : int;
+  mutable min_level : level;
+}
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let create ?(capacity = 4096) ?(min_level = Info) () =
+  {
+    entries = [||];
+    size = 0;
+    head = 0;
+    capacity = max 1 capacity;
+    min_level;
+  }
+
+let set_min_level t level = t.min_level <- level
+
+let record t ~time level message =
+  if level_rank level >= level_rank t.min_level then begin
+    if Array.length t.entries = 0 then
+      t.entries <- Array.make t.capacity { time; level; message };
+    t.entries.(t.head) <- { time; level; message };
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.size < t.capacity then t.size <- t.size + 1
+  end
+
+let to_list t =
+  let result = ref [] in
+  for i = 0 to t.size - 1 do
+    let idx = (t.head - 1 - i + (2 * t.capacity)) mod t.capacity in
+    result := t.entries.(idx) :: !result
+  done;
+  !result
+
+let pp_level fmt = function
+  | Debug -> Format.pp_print_string fmt "DEBUG"
+  | Info -> Format.pp_print_string fmt "INFO"
+  | Warn -> Format.pp_print_string fmt "WARN"
+  | Error -> Format.pp_print_string fmt "ERROR"
+
+let pp fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "[%a] %a %s@." Time.pp e.time pp_level e.level
+        e.message)
+    (to_list t)

@@ -1,0 +1,1 @@
+lib/workloads/system_mix.ml: Hyper List Sim Workload

@@ -1,0 +1,62 @@
+(** The whole-system distribution of hypervisor activity: guest-driven
+    entries from every benchmark plus the hypervisor's own timer ticks,
+    device interrupts, context switches and idle polling. A random
+    fault injected "while the CPU is executing target hypervisor code"
+    lands in an activity drawn from this mix. *)
+
+type t = {
+  benchmarks : Workload.t list;
+  active_cpus : int list; (* CPUs with a pinned vCPU (incl. PrivVM's) *)
+  blk_dom : int option; (* domain receiving block-device completions *)
+  net_dom : int option; (* domain receiving network packets *)
+}
+
+let create ~benchmarks ~active_cpus ~blk_dom ~net_dom =
+  { benchmarks; active_cpus; blk_dom; net_dom }
+
+(* Category weights: guest entries dominate hypervisor execution time,
+   followed by timer interrupts, device interrupts and scheduling. *)
+let category_weights =
+  [
+    (0.38, `Guest_entry);
+    (0.16, `Timer_tick);
+    (0.08, `Device_interrupt);
+    (0.31, `Context_switch);
+    (0.07, `Idle);
+  ]
+
+let sample rng t : Hyper.Hypervisor.activity =
+  let random_cpu () =
+    match t.active_cpus with
+    | [] -> 0
+    | l -> List.nth l (Sim.Rng.int rng (List.length l))
+  in
+  match Sim.Rng.choose_weighted rng category_weights with
+  | `Guest_entry ->
+    (match t.benchmarks with
+    | [] -> Hyper.Hypervisor.Idle_poll (random_cpu ())
+    | l ->
+      let b = List.nth l (Sim.Rng.int rng (List.length l)) in
+      Workload.sample_activity rng b)
+  | `Timer_tick -> Hyper.Hypervisor.Timer_tick (random_cpu ())
+  | `Device_interrupt ->
+    (* Line 1 = block backend, line 2 = network backend. Device pressure
+       follows the benchmarks that are running. *)
+    let blk_w =
+      List.fold_left
+        (fun acc (b : Workload.t) -> acc +. fst (Workload.device_share b.Workload.kind))
+        0.01 t.benchmarks
+    and net_w =
+      List.fold_left
+        (fun acc (b : Workload.t) -> acc +. snd (Workload.device_share b.Workload.kind))
+        0.01 t.benchmarks
+    in
+    let pick_blk = Sim.Rng.float rng (blk_w +. net_w) < blk_w in
+    (match (pick_blk, t.blk_dom, t.net_dom) with
+    | true, Some d, _ -> Hyper.Hypervisor.Device_interrupt { line = 1; target_dom = d }
+    | false, _, Some d -> Hyper.Hypervisor.Device_interrupt { line = 2; target_dom = d }
+    | true, None, Some d -> Hyper.Hypervisor.Device_interrupt { line = 2; target_dom = d }
+    | false, Some d, None -> Hyper.Hypervisor.Device_interrupt { line = 1; target_dom = d }
+    | _, None, None -> Hyper.Hypervisor.Idle_poll (random_cpu ()))
+  | `Context_switch -> Hyper.Hypervisor.Context_switch (random_cpu ())
+  | `Idle -> Hyper.Hypervisor.Idle_poll (random_cpu ())

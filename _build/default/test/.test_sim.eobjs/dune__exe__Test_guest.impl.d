@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Array Guest Hw Hyper Option Recovery Sim

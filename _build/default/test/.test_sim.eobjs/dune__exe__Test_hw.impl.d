@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Hw List Sim

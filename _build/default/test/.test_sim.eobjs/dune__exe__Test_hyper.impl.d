@@ -1,0 +1,1 @@
+test/test_hyper.ml: Alcotest Array Hw Hyper List Option Sim Workloads

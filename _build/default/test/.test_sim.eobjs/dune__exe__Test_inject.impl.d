@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Hw Hyper Inject Int64 List Recovery Sim Workloads

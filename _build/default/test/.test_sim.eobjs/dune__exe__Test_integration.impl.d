@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Hw Hyper Inject List Recovery Sim Workloads

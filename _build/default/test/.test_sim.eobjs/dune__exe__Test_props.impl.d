@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Hw Hyper Inject Int64 List QCheck QCheck_alcotest Recovery Sim

@@ -1,0 +1,1 @@
+test/test_props_guest.ml: Alcotest Guest Hyper List Printf QCheck QCheck_alcotest Recovery Sim

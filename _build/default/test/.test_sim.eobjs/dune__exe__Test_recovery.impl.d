@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Core Format Hw Hyper List Option Recovery Sim

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hyper List Sim Workloads

@@ -1,0 +1,272 @@
+(* Tests for the fault injector: manifestation profiles, corruption
+   application, single runs and campaign aggregation. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let boot () =
+  let clock = Sim.Clock.create () in
+  Hyper.Hypervisor.boot ~mconfig:Hw.Machine.campaign_config
+    ~config:Hyper.Config.nilihype ~setup:Hyper.Hypervisor.Three_appvm clock
+
+(* ------------------------- Profiles --------------------------------- *)
+
+let weights_sum_to_one dist =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 dist in
+  abs_float (total -. 1.0) < 1e-9
+
+let test_profile_weights_normalised () =
+  checkb "register" true (weights_sum_to_one Inject.Profile.register_distribution);
+  checkb "code" true (weights_sum_to_one Inject.Profile.code_distribution);
+  checkb "targets" true (weights_sum_to_one Inject.Profile.corruption_targets)
+
+let test_failstop_always_crashes () =
+  let rng = Sim.Rng.create 1L in
+  for _ = 1 to 50 do
+    let m = Inject.Profile.sample_manifestation rng Inject.Fault.Failstop in
+    checkb "panic" true (m.Inject.Profile.crash_now = `Panic);
+    checki "no corruption" 0 m.Inject.Profile.corruptions
+  done
+
+let test_register_mostly_benign () =
+  let rng = Sim.Rng.create 2L in
+  let benign = ref 0 in
+  let n = 5000 in
+  for _ = 1 to n do
+    let m = Inject.Profile.sample_manifestation rng Inject.Fault.Register in
+    if m = Inject.Profile.no_effect then incr benign
+  done;
+  let p = float_of_int !benign /. float_of_int n in
+  (* Paper: 74.8% of register faults are non-manifested. *)
+  checkb "about 73.5%" true (p > 0.70 && p < 0.77)
+
+let test_code_more_aggressive_than_register () =
+  let rng = Sim.Rng.create 3L in
+  let count fault =
+    let n = 5000 and c = ref 0 in
+    for _ = 1 to n do
+      let m = Inject.Profile.sample_manifestation rng fault in
+      if m.Inject.Profile.crash_now <> `No then incr c
+    done;
+    float_of_int !c /. float_of_int n
+  in
+  let reg = count Inject.Fault.Register and code = count Inject.Fault.Code in
+  checkb "code faults crash more often" true (code > (2.0 *. reg))
+
+let test_campaign_sizes_match_paper () =
+  checki "failstop" 1000 (Inject.Fault.paper_campaign_size Inject.Fault.Failstop);
+  checki "register" 5000 (Inject.Fault.paper_campaign_size Inject.Fault.Register);
+  checki "code" 2000 (Inject.Fault.paper_campaign_size Inject.Fault.Code)
+
+(* ------------------------- Corruption targets ----------------------- *)
+
+let test_corrupt_pfn_validated () =
+  let hv = boot () in
+  let rng = Sim.Rng.create 4L in
+  let before = Hyper.Pfn.count_inconsistent hv.Hyper.Hypervisor.pfn in
+  (* Flipping the validation bit of an in-use frame usually creates an
+     inconsistency or a latent hazard; apply a few to be sure state
+     changed. *)
+  for _ = 1 to 5 do
+    Inject.Corrupt.apply hv rng Inject.Corrupt.Pfn_validated_flip
+  done;
+  let after = Hyper.Pfn.count_inconsistent hv.Hyper.Hypervisor.pfn in
+  checkb "pfn state perturbed" true (after >= before)
+
+let test_corrupt_sched_breaks_audit () =
+  let hv = boot () in
+  let rng = Sim.Rng.create 5L in
+  let broke = ref false in
+  for _ = 1 to 10 do
+    Inject.Corrupt.apply hv rng Inject.Corrupt.Sched_metadata;
+    if not (Hyper.Sched.audit hv.Hyper.Hypervisor.sched (Hyper.Hypervisor.all_vcpus hv))
+    then broke := true
+  done;
+  checkb "sched audit eventually broken" true !broke
+
+let test_corrupt_heap_freelist () =
+  let hv = boot () in
+  let rng = Sim.Rng.create 6L in
+  Inject.Corrupt.apply hv rng Inject.Corrupt.Heap_freelist;
+  checkb "freelist corrupt" false (Hyper.Heap.freelist_ok hv.Hyper.Hypervisor.heap)
+
+let test_corrupt_recovery_handler () =
+  let hv = boot () in
+  let rng = Sim.Rng.create 7L in
+  Inject.Corrupt.apply hv rng Inject.Corrupt.Recovery_handler;
+  checkb "handler corrupt" false hv.Hyper.Hypervisor.recovery_handler_ok
+
+let test_corrupt_privvm () =
+  let hv = boot () in
+  let rng = Sim.Rng.create 8L in
+  Inject.Corrupt.apply hv rng Inject.Corrupt.Privvm_critical;
+  checkb "privvm failed" true (Hyper.Hypervisor.privvm hv).Hyper.Domain.guest_failed
+
+let test_corrupt_guest_frame_hits_app_only () =
+  let hv = boot () in
+  let rng = Sim.Rng.create 9L in
+  for _ = 1 to 20 do
+    Inject.Corrupt.apply hv rng Inject.Corrupt.Guest_frame
+  done;
+  checkb "privvm untouched" false (Hyper.Hypervisor.privvm hv).Hyper.Domain.guest_failed;
+  checkb "some app VM hit" true
+    (List.exists Hyper.Domain.affected (Hyper.Hypervisor.app_domains hv))
+
+(* ------------------------- Single runs ------------------------------ *)
+
+let run_cfg ?(fault = Inject.Fault.Failstop) ?(seed = 42L) ?(mech = None) () =
+  let mech =
+    match mech with
+    | Some m -> m
+    | None -> Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set)
+  in
+  { Inject.Run.default_config with Inject.Run.seed; fault; mech }
+
+let test_run_failstop_detected () =
+  match Inject.Run.run (run_cfg ()) with
+  | Inject.Run.Detected d ->
+    checkb "latency recorded" true (d.Inject.Run.recovery_latency > 0)
+  | Inject.Run.Non_manifested | Inject.Run.Silent_corruption ->
+    Alcotest.fail "failstop must be detected"
+
+let test_run_deterministic () =
+  let a = Inject.Run.run (run_cfg ~seed:123L ()) in
+  let b = Inject.Run.run (run_cfg ~seed:123L ()) in
+  checkb "same seed, same outcome" true
+    (Inject.Run.outcome_class a = Inject.Run.outcome_class b);
+  match (a, b) with
+  | Inject.Run.Detected da, Inject.Run.Detected db ->
+    checkb "same success" true (da.Inject.Run.success = db.Inject.Run.success)
+  | _ -> ()
+
+let test_run_no_recovery_always_fails () =
+  let cfg = run_cfg ~mech:(Some Inject.Run.No_recovery) () in
+  match Inject.Run.run cfg with
+  | Inject.Run.Detected d ->
+    checkb "not recovered" false d.Inject.Run.recovered;
+    checkb "not a success" false d.Inject.Run.success
+  | _ -> Alcotest.fail "failstop must be detected"
+
+let test_run_register_spectrum () =
+  (* Register faults produce all three outcome classes across seeds. *)
+  let nm = ref 0 and sdc = ref 0 and det = ref 0 in
+  for i = 0 to 119 do
+    match Inject.Run.run (run_cfg ~fault:Inject.Fault.Register ~seed:(Int64.of_int i) ()) with
+    | Inject.Run.Non_manifested -> incr nm
+    | Inject.Run.Silent_corruption -> incr sdc
+    | Inject.Run.Detected _ -> incr det
+  done;
+  checkb "some non-manifested" true (!nm > 0);
+  checkb "some detected" true (!det > 0);
+  checkb "non-manifested dominates" true (!nm > !det)
+
+let test_run_faulting_only_scope_worse () =
+  let n = 60 in
+  let count scope =
+    let ok = ref 0 in
+    for i = 0 to n - 1 do
+      let cfg =
+        { (run_cfg ~seed:(Int64.of_int (1000 + i)) ()) with Inject.Run.discard_scope = scope }
+      in
+      match Inject.Run.run cfg with
+      | Inject.Run.Detected d when d.Inject.Run.success -> incr ok
+      | _ -> ()
+    done;
+    !ok
+  in
+  let all = count Inject.Run.Scope_all_threads in
+  let one = count Inject.Run.Scope_faulting_only in
+  checkb "discarding all threads recovers more" true (all > one)
+
+(* ------------------------- Campaign --------------------------------- *)
+
+let test_campaign_aggregation () =
+  let r = Inject.Campaign.run ~n:25 (run_cfg ()) in
+  checki "25 runs" 25 r.Inject.Campaign.totals.Inject.Campaign.runs;
+  checki "all detected" 25 r.Inject.Campaign.totals.Inject.Campaign.detected;
+  let rate = Sim.Stats.rate (Inject.Campaign.success_rate r) in
+  checkb "rate within [0,1]" true (rate >= 0.0 && rate <= 1.0)
+
+let test_campaign_distinct_seeds () =
+  (* Different base seeds must not produce identical run streams. *)
+  let a = Inject.Campaign.run ~base_seed:1L ~n:40 (run_cfg ~fault:Inject.Fault.Register ()) in
+  let b = Inject.Campaign.run ~base_seed:50_000L ~n:40 (run_cfg ~fault:Inject.Fault.Register ()) in
+  (* Weak check: outcome mixes may differ; totals must both be 40. *)
+  checki "a runs" 40 a.Inject.Campaign.totals.Inject.Campaign.runs;
+  checki "b runs" 40 b.Inject.Campaign.totals.Inject.Campaign.runs
+
+let test_campaign_novmf_le_success () =
+  let r =
+    Inject.Campaign.run ~n:60 (run_cfg ~fault:Inject.Fault.Code ~seed:9L ())
+  in
+  checkb "noVMF <= Success" true
+    (r.Inject.Campaign.totals.Inject.Campaign.no_vmf
+     <= r.Inject.Campaign.totals.Inject.Campaign.successes)
+
+(* ------------------------- Overhead --------------------------------- *)
+
+let test_overhead_logging_costs_cycles () =
+  let m =
+    Inject.Overhead.measure ~activities:2000
+      { Inject.Overhead.label = "BlkBench"; setup = Inject.Run.One_appvm Workloads.Workload.Blkbench }
+  in
+  checkb "nilihype > stock" true (m.Inject.Overhead.nilihype_cycles > m.Inject.Overhead.stock_cycles);
+  checkb "logging dominates overhead" true
+    (m.Inject.Overhead.overhead_pct > m.Inject.Overhead.overhead_nolog_pct);
+  checkb "overhead positive" true (m.Inject.Overhead.overhead_pct > 0.0);
+  checkb "overhead sane (<25%)" true (m.Inject.Overhead.overhead_pct < 25.0)
+
+let test_overhead_blkbench_worst_case () =
+  (* Paper: "even in the worst case (BlkBench)" -- grant-heavy I/O logs
+     the most. *)
+  let measure setup label =
+    (Inject.Overhead.measure ~activities:4000 { Inject.Overhead.label; setup })
+      .Inject.Overhead.overhead_pct
+  in
+  let blk = measure (Inject.Run.One_appvm Workloads.Workload.Blkbench) "Blk" in
+  let unix = measure (Inject.Run.One_appvm Workloads.Workload.Unixbench) "Unix" in
+  checkb "blkbench >= unixbench overhead" true (blk >= unix)
+
+let () =
+  Alcotest.run "inject"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "weights normalised" `Quick test_profile_weights_normalised;
+          Alcotest.test_case "failstop crashes" `Quick test_failstop_always_crashes;
+          Alcotest.test_case "register mostly benign" `Quick test_register_mostly_benign;
+          Alcotest.test_case "code more aggressive" `Quick
+            test_code_more_aggressive_than_register;
+          Alcotest.test_case "paper campaign sizes" `Quick test_campaign_sizes_match_paper;
+        ] );
+      ( "corrupt",
+        [
+          Alcotest.test_case "pfn validated" `Quick test_corrupt_pfn_validated;
+          Alcotest.test_case "sched metadata" `Quick test_corrupt_sched_breaks_audit;
+          Alcotest.test_case "heap freelist" `Quick test_corrupt_heap_freelist;
+          Alcotest.test_case "recovery handler" `Quick test_corrupt_recovery_handler;
+          Alcotest.test_case "privvm" `Quick test_corrupt_privvm;
+          Alcotest.test_case "guest frame app-only" `Quick
+            test_corrupt_guest_frame_hits_app_only;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "failstop detected" `Quick test_run_failstop_detected;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "no recovery fails" `Quick test_run_no_recovery_always_fails;
+          Alcotest.test_case "register spectrum" `Slow test_run_register_spectrum;
+          Alcotest.test_case "faulting-only scope worse" `Slow
+            test_run_faulting_only_scope_worse;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "aggregation" `Quick test_campaign_aggregation;
+          Alcotest.test_case "distinct seeds" `Quick test_campaign_distinct_seeds;
+          Alcotest.test_case "noVMF <= Success" `Quick test_campaign_novmf_le_success;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "logging costs cycles" `Quick test_overhead_logging_costs_cycles;
+          Alcotest.test_case "blkbench worst case" `Quick test_overhead_blkbench_worst_case;
+        ] );
+    ]

@@ -1,0 +1,330 @@
+(* Tests for the simulation substrate: PRNG, clock, event queue, engine,
+   statistics. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------- Rng ------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 8L in
+  checkb "different seeds differ" false (Sim.Rng.int64 a = Sim.Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let r = Sim.Rng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 10 in
+    checkb "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Sim.Rng.create 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Sim.Rng.create 2L in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.float r 3.5 in
+    checkb "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_copy_independent () =
+  let a = Sim.Rng.create 7L in
+  ignore (Sim.Rng.int64 a);
+  let b = Sim.Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Sim.Rng.int64 a)
+    (Sim.Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 7L in
+  let child = Sim.Rng.split a in
+  checkb "child differs from parent" false (Sim.Rng.int64 child = Sim.Rng.int64 a)
+
+let test_rng_choose_weighted () =
+  let r = Sim.Rng.create 3L in
+  (* A zero-weight element must never be chosen. *)
+  for _ = 1 to 500 do
+    let v = Sim.Rng.choose_weighted r [ (0.0, `Never); (1.0, `Always) ] in
+    checkb "never picks zero weight" true (v = `Always)
+  done
+
+let test_rng_choose_weighted_distribution () =
+  let r = Sim.Rng.create 4L in
+  let count = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Sim.Rng.choose_weighted r [ (0.25, true); (0.75, false) ] then incr count
+  done;
+  let p = float_of_int !count /. float_of_int n in
+  checkb "roughly 25%" true (p > 0.22 && p < 0.28)
+
+let test_rng_choose_weighted_empty () =
+  let r = Sim.Rng.create 5L in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Rng.choose_weighted: no positive weight") (fun () ->
+      ignore (Sim.Rng.choose_weighted r []))
+
+let test_rng_shuffle_permutation () =
+  let r = Sim.Rng.create 6L in
+  let arr = Array.init 50 (fun i -> i) in
+  Sim.Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check
+    Alcotest.(array int)
+    "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_bit64_range () =
+  let r = Sim.Rng.create 8L in
+  for _ = 1 to 200 do
+    let b = Sim.Rng.bit64 r in
+    checkb "bit in [0,64)" true (b >= 0 && b < 64)
+  done
+
+(* ------------------------- Clock ----------------------------------- *)
+
+let test_clock_starts_at_zero () =
+  checki "t=0" 0 (Sim.Clock.now (Sim.Clock.create ()))
+
+let test_clock_advance () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance_by c 100;
+  Sim.Clock.advance_to c 250;
+  checki "t=250" 250 (Sim.Clock.now c)
+
+let test_clock_no_time_travel () =
+  let c = Sim.Clock.create () in
+  Sim.Clock.advance_to c 100;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Clock.advance_to: time goes backwards (50 < 100)")
+    (fun () -> Sim.Clock.advance_to c 50)
+
+let test_clock_negative_delta () =
+  let c = Sim.Clock.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance_by: negative delta")
+    (fun () -> Sim.Clock.advance_by c (-1))
+
+(* ------------------------- Time ------------------------------------ *)
+
+let test_time_units () =
+  checki "us" 1_000 (Sim.Time.us 1);
+  checki "ms" 1_000_000 (Sim.Time.ms 1);
+  checki "s" 1_000_000_000 (Sim.Time.s 1);
+  check (Alcotest.float 1e-9) "to_ms" 1.5 (Sim.Time.to_ms (Sim.Time.us 1500))
+
+(* ------------------------- Event queue ------------------------------ *)
+
+let test_eventq_ordering () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.push q ~time:30 "c");
+  ignore (Sim.Event_queue.push q ~time:10 "a");
+  ignore (Sim.Event_queue.push q ~time:20 "b");
+  let pop () =
+    match Sim.Event_queue.pop q with Some (_, v) -> v | None -> "eof"
+  in
+  check Alcotest.string "a first" "a" (pop ());
+  check Alcotest.string "b second" "b" (pop ());
+  check Alcotest.string "c third" "c" (pop ());
+  check Alcotest.string "empty" "eof" (pop ())
+
+let test_eventq_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.push q ~time:10 "first");
+  ignore (Sim.Event_queue.push q ~time:10 "second");
+  (match Sim.Event_queue.pop q with
+  | Some (_, v) -> check Alcotest.string "insertion order on tie" "first" v
+  | None -> Alcotest.fail "empty");
+  match Sim.Event_queue.pop q with
+  | Some (_, v) -> check Alcotest.string "second" "second" v
+  | None -> Alcotest.fail "empty"
+
+let test_eventq_cancel () =
+  let q = Sim.Event_queue.create () in
+  let h = Sim.Event_queue.push q ~time:10 "cancelled" in
+  ignore (Sim.Event_queue.push q ~time:20 "kept");
+  Sim.Event_queue.cancel h;
+  (match Sim.Event_queue.pop q with
+  | Some (_, v) -> check Alcotest.string "skips cancelled" "kept" v
+  | None -> Alcotest.fail "empty");
+  checkb "then empty" true (Sim.Event_queue.pop q = None)
+
+let test_eventq_peek_time () =
+  let q = Sim.Event_queue.create () in
+  checkb "empty peek" true (Sim.Event_queue.peek_time q = None);
+  let h = Sim.Event_queue.push q ~time:5 "x" in
+  checkb "peek 5" true (Sim.Event_queue.peek_time q = Some 5);
+  Sim.Event_queue.cancel h;
+  checkb "peek skips cancelled" true (Sim.Event_queue.peek_time q = None)
+
+let test_eventq_many () =
+  let q = Sim.Event_queue.create () in
+  let r = Sim.Rng.create 11L in
+  for _ = 1 to 1000 do
+    ignore (Sim.Event_queue.push q ~time:(Sim.Rng.int r 10_000) ())
+  done;
+  let last = ref (-1) in
+  let ok = ref true in
+  let rec go () =
+    match Sim.Event_queue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+      if t < !last then ok := false;
+      last := t;
+      go ()
+  in
+  go ();
+  checkb "monotone pop order" true !ok
+
+(* ------------------------- Engine ----------------------------------- *)
+
+let test_engine_runs_in_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:20 (fun _ -> log := "b" :: !log));
+  ignore (Sim.Engine.schedule e ~delay:10 (fun _ -> log := "a" :: !log));
+  Sim.Engine.run e;
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b" ] (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:42 (fun e -> seen := Sim.Engine.now e));
+  Sim.Engine.run e;
+  checki "event sees its time" 42 !seen
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:10 (fun _ -> incr count));
+  ignore (Sim.Engine.schedule e ~delay:100 (fun _ -> incr count));
+  Sim.Engine.run_until e 50;
+  checki "only first fired" 1 !count;
+  checki "clock at deadline" 50 (Sim.Engine.now e)
+
+let test_engine_cascading () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  let rec chain e =
+    incr fired;
+    if !fired < 5 then ignore (Sim.Engine.schedule e ~delay:10 chain)
+  in
+  ignore (Sim.Engine.schedule e ~delay:10 chain);
+  Sim.Engine.run e;
+  checki "chain of 5" 5 !fired;
+  checki "final time" 50 (Sim.Engine.now e)
+
+(* ------------------------- Stats ------------------------------------ *)
+
+let test_stats_mean () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Sim.Stats.mean [ 1.0; 2.0; 3.0 ])
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-6) "stddev" 1.0 (Sim.Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_stats_proportion_ci () =
+  (* Half-width of 95% CI for 500/1000 is ~3.1%. *)
+  let half = Sim.Stats.proportion_ci_half ~successes:500 ~trials:1000 in
+  checkb "about 3.1%" true (half > 0.030 && half < 0.032)
+
+let test_stats_ci_shrinks_with_n () =
+  let h1 = Sim.Stats.proportion_ci_half ~successes:50 ~trials:100 in
+  let h2 = Sim.Stats.proportion_ci_half ~successes:500 ~trials:1000 in
+  checkb "more trials, tighter CI" true (h2 < h1)
+
+let test_stats_wilson_bounds () =
+  let lo, hi = Sim.Stats.wilson_interval ~successes:0 ~trials:100 in
+  checkb "lower bound 0" true (lo = 0.0);
+  checkb "upper bound small but positive" true (hi > 0.0 && hi < 0.06);
+  let lo, hi = Sim.Stats.wilson_interval ~successes:100 ~trials:100 in
+  checkb "upper bound 1" true (hi = 1.0);
+  checkb "lower bound below 1" true (lo < 1.0 && lo > 0.94)
+
+let test_stats_paper_convention () =
+  (* The paper reports e.g. "16.0% +/- 2.3%" for ~1000 runs. *)
+  let p = Sim.Stats.proportion ~successes:160 ~trials:1000 in
+  let s = Format.asprintf "%a" Sim.Stats.pp_proportion p in
+  check Alcotest.string "format" "16.0% +/- 2.3%" s
+
+(* ------------------------- Trace ------------------------------------ *)
+
+let test_trace_capacity () =
+  let t = Sim.Trace.create ~capacity:3 ~min_level:Sim.Trace.Debug () in
+  for i = 1 to 5 do
+    Sim.Trace.record t ~time:i Sim.Trace.Info (string_of_int i)
+  done;
+  let entries = Sim.Trace.to_list t in
+  checki "bounded" 3 (List.length entries);
+  check Alcotest.string "oldest kept is 3" "3"
+    (List.hd entries).Sim.Trace.message
+
+let test_trace_level_filter () =
+  let t = Sim.Trace.create ~capacity:10 ~min_level:Sim.Trace.Warn () in
+  Sim.Trace.record t ~time:0 Sim.Trace.Debug "dropped";
+  Sim.Trace.record t ~time:0 Sim.Trace.Error "kept";
+  checki "only warn+" 1 (List.length (Sim.Trace.to_list t))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects <=0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "weighted choice" `Quick test_rng_choose_weighted;
+          Alcotest.test_case "weighted distribution" `Quick
+            test_rng_choose_weighted_distribution;
+          Alcotest.test_case "weighted empty" `Quick test_rng_choose_weighted_empty;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "bit64 range" `Quick test_rng_bit64_range;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "starts at zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "advance" `Quick test_clock_advance;
+          Alcotest.test_case "no time travel" `Quick test_clock_no_time_travel;
+          Alcotest.test_case "negative delta" `Quick test_clock_negative_delta;
+          Alcotest.test_case "time units" `Quick test_time_units;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eventq_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_eventq_cancel;
+          Alcotest.test_case "peek time" `Quick test_eventq_peek_time;
+          Alcotest.test_case "many events monotone" `Quick test_eventq_many;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "cascading events" `Quick test_engine_cascading;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "proportion CI" `Quick test_stats_proportion_ci;
+          Alcotest.test_case "CI shrinks" `Quick test_stats_ci_shrinks_with_n;
+          Alcotest.test_case "wilson bounds" `Quick test_stats_wilson_bounds;
+          Alcotest.test_case "paper format" `Quick test_stats_paper_convention;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "capacity" `Quick test_trace_capacity;
+          Alcotest.test_case "level filter" `Quick test_trace_level_filter;
+        ] );
+    ]
