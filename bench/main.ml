@@ -10,8 +10,16 @@
 
 let full = ref false
 let sections = ref []
+let jobs = ref 1 (* 0 = one worker domain per recommended core *)
+let json_out = ref "BENCH_campaign.json"
 
-let section name = !sections = [] || List.mem name !sections
+let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
+
+(* campaign_smoke is a perf-tracking target, not part of the paper
+   reproduction, so it only runs when named explicitly. *)
+let section name =
+  if name = "campaign_smoke" then List.mem name !sections
+  else !sections = [] || List.mem name !sections
 
 let hr title = Format.printf "@.==== %s ====@." title
 
@@ -34,7 +42,9 @@ let table1 () =
           hv_config;
         }
       in
-      let result = Inject.Campaign.run ~label ~base_seed:7000L ~n cfg in
+      let result =
+        Inject.Campaign.run ~label ~base_seed:7000L ~jobs:(resolve_jobs ()) ~n cfg
+      in
       Format.printf "%-52s %a@." label Sim.Stats.pp_proportion
         (Inject.Campaign.success_rate result))
     Recovery.Enhancement.table1_ladder
@@ -69,7 +79,10 @@ let figure2 () =
             }
           in
           let label = Printf.sprintf "%s/%s" mech_name (Inject.Fault.name fault) in
-          let r = Inject.Campaign.run ~label ~base_seed:31000L ~n cfg in
+          let r =
+            Inject.Campaign.run ~label ~base_seed:31000L ~jobs:(resolve_jobs ())
+              ~n cfg
+          in
           let fmt_prop p = Format.asprintf "%a" Sim.Stats.pp_proportion p in
           Format.printf "%-22s Success %-18s noVMF %s@." label
             (fmt_prop (Inject.Campaign.success_rate r))
@@ -100,7 +113,7 @@ let outcomes () =
           hv_config = Hyper.Config.nilihype;
         }
       in
-      let r = Inject.Campaign.run ~base_seed:52000L ~n cfg in
+      let r = Inject.Campaign.run ~base_seed:52000L ~jobs:(resolve_jobs ()) ~n cfg in
       let nm, sdc, det = Inject.Campaign.breakdown r in
       Format.printf "%-9s non-manifested %5.1f%%  SDC %5.1f%%  detected %5.1f%%@."
         (Inject.Fault.name fault) nm sdc det)
@@ -240,7 +253,9 @@ let ablation () =
           discard_scope = scope;
         }
       in
-      let r = Inject.Campaign.run ~label ~base_seed:64000L ~n cfg in
+      let r =
+        Inject.Campaign.run ~label ~base_seed:64000L ~jobs:(resolve_jobs ()) ~n cfg
+      in
       Format.printf "%-36s success %a@." label Sim.Stats.pp_proportion
         (Inject.Campaign.success_rate r))
     [
@@ -269,7 +284,9 @@ let ablation_logging () =
           hv_config;
         }
       in
-      let r = Inject.Campaign.run ~label ~base_seed:71000L ~n cfg in
+      let r =
+        Inject.Campaign.run ~label ~base_seed:71000L ~jobs:(resolve_jobs ()) ~n cfg
+      in
       Format.printf "%-44s success %a@." label Sim.Stats.pp_proportion
         (Inject.Campaign.success_rate r))
     [
@@ -307,7 +324,7 @@ let multivcpu () =
           vcpus_per_cpu;
         }
       in
-      let r = Inject.Campaign.run ~base_seed:83000L ~n cfg in
+      let r = Inject.Campaign.run ~base_seed:83000L ~jobs:(resolve_jobs ()) ~n cfg in
       Format.printf "%d vCPU(s) per CPU: success %a@." vcpus_per_cpu
         Sim.Stats.pp_proportion
         (Inject.Campaign.success_rate r))
@@ -378,11 +395,92 @@ let microbench () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Campaign-engine smoke benchmark: runs the same campaign at jobs=1   *)
+(* and jobs=N, asserts the aggregates are bit-identical, and writes a  *)
+(* machine-readable BENCH_campaign.json so the perf trajectory is      *)
+(* tracked across PRs.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_smoke () =
+  hr "Campaign engine smoke benchmark (parallel vs sequential)";
+  let n = if !full then 1000 else 240 in
+  let cfg =
+    {
+      Inject.Run.default_config with
+      Inject.Run.fault = Inject.Fault.Failstop;
+      setup = Inject.Run.Three_appvm;
+      mech = Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+      hv_config = Hyper.Config.nilihype;
+    }
+  in
+  let measure jobs =
+    Inject.Campaign.run
+      ~label:(Printf.sprintf "jobs=%d" jobs)
+      ~base_seed:90_000L ~jobs ~n cfg
+  in
+  let par_jobs =
+    let j = resolve_jobs () in
+    if j > 1 then j else 4
+  in
+  let seq = measure 1 in
+  let par = measure par_jobs in
+  if
+    Inject.Campaign.snapshot seq.Inject.Campaign.totals
+    <> Inject.Campaign.snapshot par.Inject.Campaign.totals
+  then failwith "campaign_smoke: parallel aggregate differs from sequential";
+  Format.printf "%a%a" Inject.Campaign.pp seq Inject.Campaign.pp par;
+  let speedup =
+    if par.Inject.Campaign.wall_seconds > 0.0 then
+      seq.Inject.Campaign.wall_seconds /. par.Inject.Campaign.wall_seconds
+    else 1.0
+  in
+  Format.printf "speedup jobs=%d vs jobs=1: %.2fx (on %d core(s))@." par_jobs
+    speedup
+    (Domain.recommended_domain_count ());
+  let entry r =
+    Printf.sprintf
+      "    { \"jobs\": %d, \"runs\": %d, \"seconds\": %.4f, \"runs_per_sec\": \
+       %.2f }"
+      r.Inject.Campaign.jobs r.Inject.Campaign.totals.Inject.Campaign.runs
+      r.Inject.Campaign.wall_seconds
+      (Inject.Campaign.runs_per_sec r)
+  in
+  let oc = open_out !json_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"campaign_smoke\",\n\
+    \  \"runs\": %d,\n\
+    \  \"seconds\": %.4f,\n\
+    \  \"runs_per_sec\": %.2f,\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"speedup_vs_jobs1\": %.2f,\n\
+    \  \"identical_totals\": true,\n\
+    \  \"series\": [\n%s,\n%s\n  ]\n\
+     }\n"
+    par.Inject.Campaign.totals.Inject.Campaign.runs
+    par.Inject.Campaign.wall_seconds
+    (Inject.Campaign.runs_per_sec par)
+    par_jobs
+    (Domain.recommended_domain_count ())
+    speedup (entry seq) (entry par);
+  close_out oc;
+  Format.printf "wrote %s@." !json_out
+
 let () =
   Arg.parse
-    [ ("--full", Arg.Set full, " paper-sized campaigns") ]
+    [
+      ("--full", Arg.Set full, " paper-sized campaigns");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        " parallel worker domains for campaigns (0 = one per core; default 1)" );
+      ( "--json-out",
+        Arg.Set_string json_out,
+        " output path for the campaign_smoke JSON record" );
+    ]
     (fun s -> sections := s :: !sections)
-    "bench/main.exe [--full] [sections...]";
+    "bench/main.exe [--full] [--jobs N] [sections...]";
   if section "table1" then table1 ();
   if section "figure2" then figure2 ();
   if section "outcomes" then outcomes ();
@@ -395,4 +493,5 @@ let () =
   if section "ablation_logging" then ablation_logging ();
   if section "multivcpu" then multivcpu ();
   if section "micro" then microbench ();
+  if section "campaign_smoke" then campaign_smoke ();
   Format.printf "@.done.@."

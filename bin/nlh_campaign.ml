@@ -1,7 +1,10 @@
 (* Campaign CLI: run fault-injection campaigns against the simulated
    virtualization platform from the command line. *)
 
-let run_campaign ~mech ~fault ~setup ~n ~seed ~label =
+(* [jobs = 0] means "auto": one worker per recommended domain. *)
+let resolve_jobs jobs = if jobs > 0 then jobs else Inject.Pool.default_jobs ()
+
+let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~label =
   let mechanism, enh, hv_config =
     match mech with
     | `Nilihype ->
@@ -24,14 +27,14 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~label =
       hv_config;
     }
   in
-  let result = Inject.Campaign.run ~label ~base_seed:seed ~n cfg in
+  let result = Inject.Campaign.run ~label ~base_seed:seed ~jobs ~n cfg in
   Format.printf "%a" Inject.Campaign.pp result;
   (match Inject.Campaign.mean_latency result with
-  | Some l -> Format.printf "mean recovery latency: %a@." Sim.Time.pp l
+  | Some l -> Format.printf "mean recovery latency: %a@." Sim.Time.pp_float l
   | None -> ());
   List.iter
     (fun (k, v) -> Format.printf "  note: %s x%d@." k v)
-    result.Inject.Campaign.totals.Inject.Campaign.failure_notes
+    (Inject.Campaign.failure_notes result.Inject.Campaign.totals)
 
 let () =
   let mech = ref `Nilihype in
@@ -39,6 +42,7 @@ let () =
   let setup = ref Inject.Run.Three_appvm in
   let n = ref 200 in
   let seed = ref 10_000 in
+  let jobs = ref 1 in
   let ladder = ref false in
   let spec =
     [
@@ -67,6 +71,9 @@ let () =
         " target system setup" );
       ("--runs", Arg.Set_int n, " number of injection runs");
       ("--seed", Arg.Set_int seed, " base seed");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        " parallel worker domains (0 = one per core; default 1)" );
       ("--ladder", Arg.Set ladder, " run the Table I enhancement ladder");
     ]
   in
@@ -84,7 +91,8 @@ let () =
           }
         in
         let result =
-          Inject.Campaign.run ~label ~base_seed:(Int64.of_int !seed) ~n:!n cfg
+          Inject.Campaign.run ~label ~base_seed:(Int64.of_int !seed)
+            ~jobs:(resolve_jobs !jobs) ~n:!n cfg
         in
         Format.printf "%-50s success %a@." label Sim.Stats.pp_proportion
           (Inject.Campaign.success_rate result);
@@ -94,11 +102,11 @@ let () =
             Format.printf "      %3dx %s@." v k)
           (List.sort
              (fun (_, a) (_, b) -> compare b a)
-             result.Inject.Campaign.totals.Inject.Campaign.failure_notes))
+             (Inject.Campaign.failure_notes result.Inject.Campaign.totals)))
       Recovery.Enhancement.table1_ladder
   else
     run_campaign ~mech:!mech ~fault:!fault ~setup:!setup ~n:!n
-      ~seed:(Int64.of_int !seed)
+      ~seed:(Int64.of_int !seed) ~jobs:(resolve_jobs !jobs)
       ~label:
         (Printf.sprintf "%s/%s"
            (match !mech with

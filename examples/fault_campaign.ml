@@ -25,6 +25,7 @@ let () =
         Sim.Stats.pp_proportion
         (Inject.Campaign.success_rate r);
       match Inject.Campaign.mean_latency r with
-      | Some l -> Format.printf "%-9s mean recovery latency: %a@." name Sim.Time.pp l
+      | Some l ->
+        Format.printf "%-9s mean recovery latency: %a@." name Sim.Time.pp_float l
       | None -> ())
     [ Core.Experiment.Nilihype; Core.Experiment.Rehype ]

@@ -25,7 +25,7 @@ let () =
       (* Show the dominant remaining failure causes for this row. *)
       let top =
         List.sort (fun (_, a) (_, b) -> compare b a)
-          r.Inject.Campaign.totals.Inject.Campaign.failure_notes
+          (Inject.Campaign.failure_notes r.Inject.Campaign.totals)
       in
       List.iteri
         (fun i (why, count) ->

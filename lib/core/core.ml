@@ -102,8 +102,8 @@ module Experiment = struct
     in
     Inject.Run.run cfg
 
-  let campaign ?(setup = Inject.Run.Three_appvm) ?(base_seed = 10_000L) ~fault
-      ~mechanism ~runs () =
+  let campaign ?(setup = Inject.Run.Three_appvm) ?(base_seed = 10_000L)
+      ?(jobs = 1) ~fault ~mechanism ~runs () =
     let cfg =
       {
         Inject.Run.default_config with
@@ -116,7 +116,7 @@ module Experiment = struct
           | Rehype -> Hyper.Config.rehype);
       }
     in
-    Inject.Campaign.run ~base_seed ~n:runs cfg
+    Inject.Campaign.run ~base_seed ~jobs ~n:runs cfg
 
   let pp_outcome fmt (o : outcome) =
     match o with

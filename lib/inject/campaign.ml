@@ -1,5 +1,10 @@
 (** Injection campaigns: many runs of a configuration, aggregated the way
-    Section VII-A reports them. *)
+    Section VII-A reports them.
+
+    Campaigns run either sequentially or across OCaml 5 domains (see
+    {!Pool}); per-run randomness derives purely from the seed and the
+    totals merge is commutative and associative, so the aggregate is
+    identical for every [jobs] value. *)
 
 type totals = {
   mutable runs : int;
@@ -11,7 +16,7 @@ type totals = {
   mutable recovered : int;
   mutable latency_sum : Sim.Time.ns;
   mutable latency_samples : int;
-  mutable failure_notes : (string * int) list;
+  notes : Sim.Stats.Counts.t;
 }
 
 let make_totals () =
@@ -25,12 +30,14 @@ let make_totals () =
     recovered = 0;
     latency_sum = 0;
     latency_samples = 0;
-    failure_notes = [];
+    notes = Sim.Stats.Counts.create ();
   }
 
-let note t key =
-  let count = try List.assoc key t.failure_notes with Not_found -> 0 in
-  t.failure_notes <- (key, count + 1) :: List.remove_assoc key t.failure_notes
+let note t key = Sim.Stats.Counts.add t.notes key
+
+(* Failure notes in canonical (key-sorted) order, so output and
+   comparisons are stable regardless of accumulation order. *)
+let failure_notes t = Sim.Stats.Counts.sorted t.notes
 
 let add_outcome t (o : Run.outcome) =
   t.runs <- t.runs + 1;
@@ -50,20 +57,104 @@ let add_outcome t (o : Run.outcome) =
       t.latency_samples <- t.latency_samples + 1
     end
 
+(* Fold [src] into [dst]. Every field is a sum (or a counter table), so
+   this merge is commutative and associative -- the property the
+   parallel engine relies on for determinism. *)
+let merge_into dst src =
+  dst.runs <- dst.runs + src.runs;
+  dst.non_manifested <- dst.non_manifested + src.non_manifested;
+  dst.sdc <- dst.sdc + src.sdc;
+  dst.detected <- dst.detected + src.detected;
+  dst.successes <- dst.successes + src.successes;
+  dst.no_vmf <- dst.no_vmf + src.no_vmf;
+  dst.recovered <- dst.recovered + src.recovered;
+  dst.latency_sum <- dst.latency_sum + src.latency_sum;
+  dst.latency_samples <- dst.latency_samples + src.latency_samples;
+  Sim.Stats.Counts.merge_into ~into:dst.notes src.notes
+
+let merge a b =
+  let t = make_totals () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+(* An immutable, canonical view of [totals]: plain counters plus the
+   sorted note list. Two aggregates are bit-identical iff their
+   snapshots are structurally equal, which is what the determinism
+   tests compare. *)
+type snapshot = {
+  s_runs : int;
+  s_non_manifested : int;
+  s_sdc : int;
+  s_detected : int;
+  s_successes : int;
+  s_no_vmf : int;
+  s_recovered : int;
+  s_latency_sum : Sim.Time.ns;
+  s_latency_samples : int;
+  s_notes : (string * int) list;
+}
+
+let snapshot t =
+  {
+    s_runs = t.runs;
+    s_non_manifested = t.non_manifested;
+    s_sdc = t.sdc;
+    s_detected = t.detected;
+    s_successes = t.successes;
+    s_no_vmf = t.no_vmf;
+    s_recovered = t.recovered;
+    s_latency_sum = t.latency_sum;
+    s_latency_samples = t.latency_samples;
+    s_notes = failure_notes t;
+  }
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "runs=%d nm=%d sdc=%d det=%d succ=%d novmf=%d rec=%d lat=(%d/%d) notes=[%a]"
+    s.s_runs s.s_non_manifested s.s_sdc s.s_detected s.s_successes s.s_no_vmf
+    s.s_recovered s.s_latency_sum s.s_latency_samples
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (k, v) -> Format.fprintf fmt "%s x%d" k v))
+    s.s_notes
+
 type result = {
   config_label : string;
   totals : totals;
+  jobs : int; (* worker domains the campaign actually used *)
+  wall_seconds : float; (* host wall-clock time for the whole campaign *)
 }
 
-(* Run [n] injections of [cfg], varying only the seed. *)
-let run ?(label = "") ?(base_seed = 10_000L) ~n (cfg : Run.config) =
-  let totals = make_totals () in
-  for i = 0 to n - 1 do
+let runs_per_sec r =
+  if r.wall_seconds > 0.0 then float_of_int r.totals.runs /. r.wall_seconds
+  else 0.0
+
+(* Run [n] injections of [cfg], varying only the seed. [jobs > 1]
+   distributes the seed range over that many domains through
+   {!Pool.map_reduce}; the default stays sequential so existing callers
+   and tests behave exactly as before. The result totals are identical
+   for every [jobs] value. *)
+let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk ~n
+    (cfg : Run.config) =
+  let t0 = Unix.gettimeofday () in
+  let run_one totals i =
     let seed = Int64.add base_seed (Int64.of_int i) in
-    let outcome = Run.run { cfg with Run.seed } in
-    add_outcome totals outcome
-  done;
-  { config_label = label; totals }
+    add_outcome totals (Run.run { cfg with Run.seed })
+  in
+  let totals =
+    Pool.map_reduce ~jobs ?chunk ~n ~init:make_totals ~body:run_one
+      ~merge:(fun a b ->
+        merge_into a b;
+        a)
+      ()
+  in
+  {
+    config_label = label;
+    totals;
+    jobs = max 1 (min jobs (max 1 n));
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
 
 let success_rate r =
   Sim.Stats.proportion ~successes:r.totals.successes ~trials:(max 1 r.totals.detected)
@@ -77,9 +168,11 @@ let breakdown r =
     100.0 *. float_of_int r.totals.sdc /. n,
     100.0 *. float_of_int r.totals.detected /. n )
 
+(* Mean recovery latency in float nanoseconds: integer division floored
+   sub-ns-granularity averages, so the mean is computed in float. *)
 let mean_latency r =
-  if r.totals.latency_samples = 0 then None
-  else Some (r.totals.latency_sum / r.totals.latency_samples)
+  Sim.Stats.mean_of_sum ~sum:r.totals.latency_sum
+    ~samples:r.totals.latency_samples
 
 let pp fmt r =
   let nm, sdc, det = breakdown r in
@@ -87,4 +180,7 @@ let pp fmt r =
     "%s: runs=%d outcomes: non-manifested %.1f%%, SDC %.1f%%, detected %.1f%% | \
      success %a, noVMF %a@."
     r.config_label r.totals.runs nm sdc det Sim.Stats.pp_proportion
-    (success_rate r) Sim.Stats.pp_proportion (no_vmf_rate r)
+    (success_rate r) Sim.Stats.pp_proportion (no_vmf_rate r);
+  if r.wall_seconds > 0.0 then
+    Format.fprintf fmt "%s: wall %.2fs, %.1f runs/s (jobs=%d)@." r.config_label
+      r.wall_seconds (runs_per_sec r) r.jobs

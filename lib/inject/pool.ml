@@ -1,0 +1,68 @@
+(** Parallel work pool over OCaml 5 domains.
+
+    Campaigns are embarrassingly parallel: each injection run is a pure
+    function of [(config, seed)], with no shared mutable state anywhere
+    in the simulator (every run boots its own machine and derives every
+    stochastic decision from its own splitmix64 stream). The pool
+    exploits that with shared-nothing workers: [jobs] domains pull
+    chunks of the index range [0, n) from a single [Atomic] cursor,
+    accumulate into a worker-local accumulator, and the per-worker
+    accumulators are merged at the end.
+
+    Determinism contract: as long as [body] is a pure function of the
+    index (per accumulator) and [merge] is commutative and associative,
+    the final accumulator is identical for every value of [jobs] and
+    [chunk] — only the wall-clock time changes. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Chunked self-scheduling: big enough to keep cursor contention
+   negligible, small enough that the tail imbalance is a few runs. *)
+let default_chunk ~n ~jobs = max 1 (min 16 (n / (jobs * 4)))
+
+(* [map_reduce ~jobs ~chunk ~n ~init ~body ~merge] folds [body acc i]
+   for every [i] in [0, n) into worker-local accumulators created by
+   [init], then combines them with [merge]. [jobs] defaults to
+   [default_jobs ()]; [jobs <= 1] (or [n <= 1]) degrades to a plain
+   sequential loop with no domain spawned at all. *)
+let map_reduce ?jobs ?chunk ~n ~(init : unit -> 'acc)
+    ~(body : 'acc -> int -> unit) ~(merge : 'acc -> 'acc -> 'acc) () : 'acc =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs (max 1 n) in
+  if n <= 0 then init ()
+  else if jobs = 1 then begin
+    let acc = init () in
+    for i = 0 to n - 1 do
+      body acc i
+    done;
+    acc
+  end
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> default_chunk ~n ~jobs
+    in
+    let next = Atomic.make 0 in
+    let worker () =
+      let acc = init () in
+      let rec loop () =
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo < n then begin
+          let hi = min n (lo + chunk) in
+          for i = lo to hi - 1 do
+            body acc i
+          done;
+          loop ()
+        end
+      in
+      loop ();
+      acc
+    in
+    (* jobs - 1 spawned domains; the calling domain is the last worker. *)
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let acc = worker () in
+    Array.fold_left (fun acc d -> merge acc (Domain.join d)) acc spawned
+  end

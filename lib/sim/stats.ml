@@ -49,6 +49,44 @@ let mean_ci_half xs =
   | [] | [ _ ] -> 0.0
   | _ -> z_95 *. stddev xs /. sqrt (float_of_int (List.length xs))
 
+(* String-keyed occurrence counters, used for campaign failure notes.
+   Accumulation and merging are O(1) amortised per key; [sorted] gives a
+   canonical (key-ordered) view so aggregates are comparable regardless
+   of the order in which counts were accumulated or merged. *)
+module Counts = struct
+  type t = (string, int) Hashtbl.t
+
+  let create ?(size = 16) () : t = Hashtbl.create size
+
+  let add ?(by = 1) (t : t) key =
+    match Hashtbl.find_opt t key with
+    | Some c -> Hashtbl.replace t key (c + by)
+    | None -> Hashtbl.add t key by
+
+  (* Commutative, associative merge: [into] absorbs every count of
+     [src]. *)
+  let merge_into ~into (src : t) =
+    Hashtbl.iter (fun k v -> add ~by:v into k) src
+
+  let sorted (t : t) =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let total (t : t) = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+
+  let of_list l =
+    let t = create () in
+    List.iter (fun (k, v) -> add ~by:v t k) l;
+    t
+end
+
+(* Mean of an integer sum without integer truncation; [None] when there
+   are no samples. Keeping (sum, samples) instead of a running mean is
+   what makes campaign aggregates mergeable exactly. *)
+let mean_of_sum ~sum ~samples =
+  if samples <= 0 then None
+  else Some (float_of_int sum /. float_of_int samples)
+
 type proportion = { successes : int; trials : int }
 
 let proportion ~successes ~trials = { successes; trials }

@@ -16,6 +16,14 @@ let to_ms n = float_of_int n /. 1e6
 let to_s n = float_of_int n /. 1e9
 
 let pp_ms fmt n = Format.fprintf fmt "%.3fms" (to_ms n)
+
+(* Pretty-print a duration held as float nanoseconds (e.g. a mean over
+   integer samples, which need not be a whole number of ns). *)
+let pp_float fmt n =
+  if n >= 1e9 then Format.fprintf fmt "%.3fs" (n /. 1e9)
+  else if n >= 1e6 then Format.fprintf fmt "%.3fms" (n /. 1e6)
+  else if n >= 1e3 then Format.fprintf fmt "%.3fus" (n /. 1e3)
+  else Format.fprintf fmt "%.1fns" n
 let pp fmt n =
   if n >= s 1 then Format.fprintf fmt "%.3fs" (to_s n)
   else if n >= ms 1 then Format.fprintf fmt "%.3fms" (to_ms n)

@@ -203,6 +203,96 @@ let test_campaign_novmf_le_success () =
     (r.Inject.Campaign.totals.Inject.Campaign.no_vmf
      <= r.Inject.Campaign.totals.Inject.Campaign.successes)
 
+(* ------------------------- Parallel engine -------------------------- *)
+
+let snapshot_t =
+  Alcotest.testable Inject.Campaign.pp_snapshot
+    (fun (a : Inject.Campaign.snapshot) b -> a = b)
+
+(* The tentpole determinism contract: the campaign aggregate is
+   bit-identical no matter how many domains execute it. Register faults
+   exercise every outcome class, failure notes included. *)
+let test_campaign_parallel_deterministic () =
+  let cfg = run_cfg ~fault:Inject.Fault.Register () in
+  let seq = Inject.Campaign.run ~base_seed:500L ~jobs:1 ~n:100 cfg in
+  let par = Inject.Campaign.run ~base_seed:500L ~jobs:4 ~n:100 cfg in
+  Alcotest.check snapshot_t "jobs=1 and jobs=4 identical"
+    (Inject.Campaign.snapshot seq.Inject.Campaign.totals)
+    (Inject.Campaign.snapshot par.Inject.Campaign.totals);
+  checki "parallel result records jobs" 4 par.Inject.Campaign.jobs;
+  checkb "wall clock recorded" true (par.Inject.Campaign.wall_seconds >= 0.0)
+
+let test_campaign_odd_chunking_deterministic () =
+  (* A chunk size that does not divide n, with more workers than
+     chunks' worth of tail, still yields the same aggregate. *)
+  let cfg = run_cfg ~fault:Inject.Fault.Failstop () in
+  let seq = Inject.Campaign.run ~base_seed:900L ~jobs:1 ~n:23 cfg in
+  let par = Inject.Campaign.run ~base_seed:900L ~jobs:3 ~chunk:5 ~n:23 cfg in
+  Alcotest.check snapshot_t "jobs=3 chunk=5 identical"
+    (Inject.Campaign.snapshot seq.Inject.Campaign.totals)
+    (Inject.Campaign.snapshot par.Inject.Campaign.totals)
+
+let test_merge_empty () =
+  let a = Inject.Campaign.make_totals () in
+  let b = Inject.Campaign.make_totals () in
+  let m = Inject.Campaign.merge a b in
+  Alcotest.check snapshot_t "empty merge is empty"
+    (Inject.Campaign.snapshot (Inject.Campaign.make_totals ()))
+    (Inject.Campaign.snapshot m)
+
+let test_merge_singleton () =
+  let a = Inject.Campaign.make_totals () in
+  Inject.Campaign.add_outcome a (Inject.Run.run (run_cfg ~seed:77L ()));
+  let m = Inject.Campaign.merge a (Inject.Campaign.make_totals ()) in
+  Alcotest.check snapshot_t "merge with empty is identity"
+    (Inject.Campaign.snapshot a) (Inject.Campaign.snapshot m);
+  let m' = Inject.Campaign.merge (Inject.Campaign.make_totals ()) a in
+  Alcotest.check snapshot_t "merge is commutative"
+    (Inject.Campaign.snapshot a) (Inject.Campaign.snapshot m')
+
+let test_merge_overlapping_notes () =
+  let a = Inject.Campaign.make_totals () in
+  let b = Inject.Campaign.make_totals () in
+  Inject.Campaign.note a "x";
+  Inject.Campaign.note a "x";
+  Inject.Campaign.note a "y";
+  Inject.Campaign.note b "x";
+  Inject.Campaign.note b "z";
+  Inject.Campaign.note b "z";
+  let m = Inject.Campaign.merge a b in
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "overlapping keys summed, sorted"
+    [ ("x", 3); ("y", 1); ("z", 2) ]
+    (Inject.Campaign.failure_notes m)
+
+let test_notes_sorted_regardless_of_order () =
+  let a = Inject.Campaign.make_totals () in
+  Inject.Campaign.note a "zebra";
+  Inject.Campaign.note a "alpha";
+  Inject.Campaign.note a "zebra";
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "sorted view" [ ("alpha", 1); ("zebra", 2) ]
+    (Inject.Campaign.failure_notes a)
+
+let test_mean_latency_not_floored () =
+  let t = Inject.Campaign.make_totals () in
+  t.Inject.Campaign.latency_sum <- 5;
+  t.Inject.Campaign.latency_samples <- 2;
+  let r =
+    {
+      Inject.Campaign.config_label = "";
+      totals = t;
+      jobs = 1;
+      wall_seconds = 0.0;
+    }
+  in
+  match Inject.Campaign.mean_latency r with
+  | Some m ->
+    Alcotest.check (Alcotest.float 1e-9) "5/2 = 2.5, not 2" 2.5 m
+  | None -> Alcotest.fail "expected a mean"
+
 (* ------------------------- Overhead --------------------------------- *)
 
 let test_overhead_logging_costs_cycles () =
@@ -263,6 +353,19 @@ let () =
           Alcotest.test_case "aggregation" `Quick test_campaign_aggregation;
           Alcotest.test_case "distinct seeds" `Quick test_campaign_distinct_seeds;
           Alcotest.test_case "noVMF <= Success" `Quick test_campaign_novmf_le_success;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 identical" `Slow
+            test_campaign_parallel_deterministic;
+          Alcotest.test_case "odd chunking identical" `Quick
+            test_campaign_odd_chunking_deterministic;
+          Alcotest.test_case "merge empty" `Quick test_merge_empty;
+          Alcotest.test_case "merge singleton" `Quick test_merge_singleton;
+          Alcotest.test_case "merge overlapping notes" `Quick
+            test_merge_overlapping_notes;
+          Alcotest.test_case "notes sorted" `Quick test_notes_sorted_regardless_of_order;
+          Alcotest.test_case "mean latency in float" `Quick test_mean_latency_not_floored;
         ] );
       ( "overhead",
         [
