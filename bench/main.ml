@@ -12,6 +12,7 @@ let full = ref false
 let sections = ref []
 let jobs = ref 1 (* 0 = one worker domain per recommended core *)
 let json_out = ref "BENCH_campaign.json"
+let obs_out = ref "OBS_campaign.json"
 
 let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 
@@ -466,7 +467,18 @@ let campaign_smoke () =
     (Domain.recommended_domain_count ())
     speedup (entry seq) (entry par);
   close_out oc;
-  Format.printf "wrote %s@." !json_out
+  Format.printf "wrote %s@." !json_out;
+  (* Campaign-level metrics snapshot (same data for both jobs values --
+     asserted identical above). *)
+  Obs.Export.write_metrics_json
+    ~meta:
+      [
+        ("benchmark", `String "campaign_smoke");
+        ("runs", `Int par.Inject.Campaign.totals.Inject.Campaign.runs);
+        ("jobs", `Int par_jobs);
+      ]
+    !obs_out par.Inject.Campaign.totals.Inject.Campaign.metrics;
+  Format.printf "wrote %s@." !obs_out
 
 let () =
   Arg.parse
@@ -478,6 +490,9 @@ let () =
       ( "--json-out",
         Arg.Set_string json_out,
         " output path for the campaign_smoke JSON record" );
+      ( "--obs-out",
+        Arg.Set_string obs_out,
+        " output path for the campaign_smoke metrics snapshot (nlh-obs/1)" );
     ]
     (fun s -> sections := s :: !sections)
     "bench/main.exe [--full] [--jobs N] [sections...]";

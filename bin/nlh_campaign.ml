@@ -34,7 +34,23 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~label =
   | None -> ());
   List.iter
     (fun (k, v) -> Format.printf "  note: %s x%d@." k v)
-    (Inject.Campaign.failure_notes result.Inject.Campaign.totals)
+    (Inject.Campaign.failure_notes result.Inject.Campaign.totals);
+  if !Obs_cli.metrics_file <> "" then
+    Obs_cli.write_metrics
+      ~meta:
+        [
+          ("tool", `String "nlh_campaign");
+          ("label", `String label);
+          ("runs", `Int n);
+          ("base_seed", `Int (Int64.to_int seed));
+          ("jobs", `Int jobs);
+        ]
+      !Obs_cli.metrics_file
+      result.Inject.Campaign.totals.Inject.Campaign.metrics;
+  if !Obs_cli.trace_file <> "" then
+    (* One extra instrumented run at the base seed: same config, full
+       event/span recording, exported as a Chrome-trace timeline. *)
+    ignore (Obs_cli.traced_run !Obs_cli.trace_file { cfg with Inject.Run.seed })
 
 let () =
   let mech = ref `Nilihype in
@@ -76,6 +92,7 @@ let () =
         " parallel worker domains (0 = one per core; default 1)" );
       ("--ladder", Arg.Set ladder, " run the Table I enhancement ladder");
     ]
+    @ Obs_cli.arg_specs
   in
   Arg.parse spec (fun _ -> ()) "nlh_campaign [options]";
   if !ladder then

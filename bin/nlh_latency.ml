@@ -44,6 +44,7 @@ let () =
         Arg.Set_int jobs,
         " parallel worker domains for --runs (0 = one per core; default 1)" );
     ]
+    @ Obs_cli.arg_specs
   in
   Arg.parse spec (fun _ -> ()) "nlh_latency [options]";
   let mconfig =
@@ -53,23 +54,49 @@ let () =
       num_cpus = max 2 !cpus;
     }
   in
-  let measure mechanism =
+  let measure ?obs mechanism =
     let clock = Sim.Clock.create () in
     let config = Recovery.Engine.config mechanism in
     let hv =
-      Hyper.Hypervisor.boot ~mconfig ~config ~setup:Hyper.Hypervisor.One_appvm
-        clock
+      Hyper.Hypervisor.boot ~mconfig ?obs ~config
+        ~setup:Hyper.Hypervisor.One_appvm clock
     in
     Array.iter Hyper.Percpu.irq_enter hv.Hyper.Hypervisor.percpu;
     Recovery.Engine.recover mechanism hv ~enh:Recovery.Enhancement.full_set
       ~detected_on:0
   in
+  (* With --trace/--metrics, the NiLiHype measurement runs against a full
+     recorder: its recovery spans become the exported timeline. *)
+  let recorder =
+    if !Obs_cli.trace_file <> "" || !Obs_cli.metrics_file <> "" then
+      Some (Obs_cli.make_recorder ())
+    else None
+  in
   Format.printf "Machine: %d GiB RAM (%d frames), %d CPUs@.@." !mem_gb
     (mconfig.Hw.Machine.mem_bytes / Hw.Machine.page_size)
     mconfig.Hw.Machine.num_cpus;
-  let nl = measure Recovery.Engine.Nilihype in
+  let nl = measure ?obs:recorder Recovery.Engine.Nilihype in
   Format.printf "NiLiHype (microreset):@.%a@." Hyper.Latency_model.pp
     nl.Recovery.Engine.breakdown;
+  (match recorder with
+  | Some r ->
+    if !Obs_cli.trace_file <> "" then begin
+      Obs.Export.write_chrome_trace !Obs_cli.trace_file r;
+      Format.printf "trace: wrote %s (%d events, %d spans)@." !Obs_cli.trace_file
+        (Obs.Trace.size r.Obs.Recorder.trace)
+        (Obs.Span.count r.Obs.Recorder.spans)
+    end;
+    if !Obs_cli.metrics_file <> "" then
+      Obs_cli.write_metrics
+        ~meta:
+          [
+            ("tool", `String "nlh_latency");
+            ("mem_gb", `Int !mem_gb);
+            ("cpus", `Int mconfig.Hw.Machine.num_cpus);
+          ]
+        !Obs_cli.metrics_file
+        (Obs.Recorder.metrics_snapshot r)
+  | None -> ());
   let re = measure Recovery.Engine.Rehype in
   Format.printf "ReHype (microreboot):@.%a@." Hyper.Latency_model.pp
     re.Recovery.Engine.breakdown;

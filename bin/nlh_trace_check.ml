@@ -1,0 +1,60 @@
+(* Validate an exported Chrome-trace JSON file: well-formed JSON, a
+   traceEvents array whose rows all carry name/ph/ts, and globally
+   non-decreasing timestamps (the exporter emits rows time-sorted).
+   Used by the @check alias as the trace-export smoke test. *)
+
+let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  if Array.length Sys.argv <> 2 then die "usage: nlh_trace_check TRACE.json";
+  let path = Sys.argv.(1) in
+  let contents = try read_file path with Sys_error e -> die "%s" e in
+  let root =
+    match Obs.Json.parse contents with
+    | Ok v -> v
+    | Error msg -> die "%s: invalid JSON: %s" path msg
+  in
+  let events =
+    match Obs.Json.member "traceEvents" root with
+    | Some v -> (
+      match Obs.Json.to_list v with
+      | Some l -> l
+      | None -> die "%s: traceEvents is not an array" path)
+    | None -> die "%s: missing traceEvents" path
+  in
+  let spans = ref 0 and instants = ref 0 in
+  let last_ts = ref neg_infinity in
+  List.iteri
+    (fun i row ->
+      let str key =
+        match Option.bind (Obs.Json.member key row) Obs.Json.to_string with
+        | Some s -> s
+        | None -> die "%s: traceEvents[%d]: missing string %S" path i key
+      in
+      let num key =
+        match Option.bind (Obs.Json.member key row) Obs.Json.to_number with
+        | Some f -> f
+        | None -> die "%s: traceEvents[%d]: missing number %S" path i key
+      in
+      if str "name" = "" then die "%s: traceEvents[%d]: empty name" path i;
+      let ts = num "ts" in
+      if ts < 0.0 then die "%s: traceEvents[%d]: negative ts" path i;
+      if ts < !last_ts then
+        die "%s: traceEvents[%d]: ts %.3f < previous %.3f (not monotone)" path
+          i ts !last_ts;
+      last_ts := ts;
+      match str "ph" with
+      | "X" ->
+        if num "dur" < 0.0 then die "%s: traceEvents[%d]: negative dur" path i;
+        incr spans
+      | "i" -> incr instants
+      | ph -> die "%s: traceEvents[%d]: unexpected ph %S" path i ph)
+    events;
+  Printf.printf "%s: OK (%d rows: %d spans, %d instants)\n" path
+    (List.length events) !spans !instants

@@ -1,0 +1,53 @@
+(* Shared observability CLI plumbing for the nlh_* tools:
+   --trace FILE / --trace-level LEVEL / --metrics FILE. *)
+
+let trace_file = ref ""
+let trace_level = ref "info"
+let metrics_file = ref ""
+
+let arg_specs =
+  [
+    ( "--trace",
+      Arg.Set_string trace_file,
+      "FILE write a Chrome-trace JSON timeline (Perfetto-loadable) of one \
+       instrumented run" );
+    ( "--trace-level",
+      Arg.Symbol
+        ( [ "debug"; "info"; "warn"; "error" ],
+          fun s -> trace_level := s ),
+      " minimum event level kept in the trace ring (default info)" );
+    ( "--metrics",
+      Arg.Set_string metrics_file,
+      "FILE write metrics as JSON (nlh-obs/1 schema)" );
+  ]
+
+let level () =
+  match Obs.Event.level_of_string !trace_level with
+  | Some l -> l
+  | None -> Obs.Event.Info
+
+let make_recorder () =
+  Obs.Recorder.create ~capacity:65536 ~min_level:(level ()) ()
+
+(* Re-run one injection with a full recorder attached and export its
+   Chrome-trace timeline. Prints the recovery-phase breakdown, whose
+   entries equal the per-phase span sums by construction. *)
+let traced_run path (cfg : Inject.Run.config) =
+  let recorder = make_recorder () in
+  let outcome = Inject.Run.run_obs ~recorder cfg in
+  Obs.Export.write_chrome_trace path recorder;
+  Format.printf "trace: wrote %s (%d events, %d spans; outcome: %s)@." path
+    (Obs.Trace.size recorder.Obs.Recorder.trace)
+    (Obs.Span.count recorder.Obs.Recorder.spans)
+    (Inject.Run.outcome_name outcome);
+  (match outcome with
+  | Inject.Run.Detected { breakdown = Some b; _ } ->
+    Format.printf "recovery phases of the traced run:@.%a" Hyper.Latency_model.pp b
+  | Inject.Run.Detected _ | Inject.Run.Non_manifested
+  | Inject.Run.Silent_corruption ->
+    ());
+  outcome
+
+let write_metrics ?meta path snapshot =
+  Obs.Export.write_metrics_json ?meta path snapshot;
+  Format.printf "metrics: wrote %s@." path

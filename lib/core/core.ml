@@ -25,6 +25,7 @@
 
 module Sim = Sim
 module Hw = Hw
+module Obs = Obs
 module Hyper = Hyper
 module Guest = Guest
 module Recovery = Recovery
@@ -120,9 +121,8 @@ module Experiment = struct
 
   let pp_outcome fmt (o : outcome) =
     match o with
-    | Inject.Run.Non_manifested -> Format.pp_print_string fmt "non-manifested"
-    | Inject.Run.Silent_corruption ->
-      Format.pp_print_string fmt "silent data corruption"
+    | Inject.Run.Non_manifested | Inject.Run.Silent_corruption ->
+      Format.pp_print_string fmt (Inject.Run.outcome_label o)
     | Inject.Run.Detected d ->
       Format.fprintf fmt "detected (%a); %s; recovery latency %a"
         Hyper.Crash.pp d.Inject.Run.detection

@@ -52,7 +52,7 @@ type t = {
   sched : Sched.t;
   domains : (int, Domain.t) Hashtbl.t;
   cycles : Cycle_account.t;
-  trace : Sim.Trace.t;
+  obs : Obs.Recorder.t;
   watchdog_soft : int array; (* per-CPU software tick counters *)
   mutable time_sync_count : int;
   mutable next_domid : int;
@@ -98,8 +98,13 @@ let idle_domain t =
 (* Construction and boot                                               *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(mconfig = Hw.Machine.default_config) ~config clock =
+let create ?(mconfig = Hw.Machine.default_config) ?obs ~config clock =
   let machine = Hw.Machine.create ~config:mconfig clock in
+  let obs =
+    match obs with
+    | Some r -> r
+    | None -> Obs.Recorder.create ~capacity:1024 ~min_level:Obs.Event.Warn ()
+  in
   let heap = Heap.create () in
   let static_segment = Spinlock.Segment.create () in
   let static_lock name =
@@ -127,7 +132,7 @@ let create ?(mconfig = Hw.Machine.default_config) ~config clock =
       sched = Sched.create ~num_cpus;
       domains = Hashtbl.create 8;
       cycles = Cycle_account.create ();
-      trace = Sim.Trace.create ~capacity:1024 ~min_level:Sim.Trace.Warn ();
+      obs;
       watchdog_soft = Array.make num_cpus 0;
       time_sync_count = 0;
       next_domid = 0;
@@ -142,10 +147,17 @@ let create ?(mconfig = Hw.Machine.default_config) ~config clock =
   Hw.Ioapic.set_logging machine.Hw.Machine.ioapic config.Config.ioapic_write_logging;
   t
 
+(* Record a typed event against the hypervisor's recorder at the current
+   simulated time. *)
+let observe ?cpu ?domid t level payload =
+  Obs.Recorder.event t.obs ~time:(Sim.Clock.now t.clock) ?cpu ?domid level
+    payload
+
+(* Legacy free-form trace path, now a [Message] event. *)
 let tracef t level fmt =
-  Format.kasprintf
-    (fun s -> Sim.Trace.record t.trace ~time:(Sim.Clock.now t.clock) level s)
-    fmt
+  Format.kasprintf (fun s -> observe t level (Obs.Event.Message s)) fmt
+
+let _ = tracef (* kept for ad-hoc debugging call sites *)
 
 (* Standard recurring timer events plus APIC programming, performed at
    boot and re-performed by ReHype's reboot. *)
@@ -252,9 +264,9 @@ type setup = One_appvm | Three_appvm
    Section VI-A). [vcpus_per_cpu > 1] gives each AppVM several vCPUs
    sharing its physical CPU -- the "more complex configurations, that
    include multiple vCPUs per CPU" of the paper's future work. *)
-let boot ?(mconfig = Hw.Machine.default_config) ?(vcpus_per_cpu = 1) ~config
-    ~setup clock =
-  let t = create ~mconfig ~config clock in
+let boot ?(mconfig = Hw.Machine.default_config) ?obs ?(vcpus_per_cpu = 1)
+    ~config ~setup clock =
+  let t = create ~mconfig ?obs ~config clock in
   register_recurring_events t;
   arm_all_apics t;
   setup_ioapic_routing t;
@@ -334,7 +346,11 @@ let make_stepper t activity cpu =
 let journal_log t (journal : Journal.t) entry =
   if journal.Journal.enabled then begin
     Cycle_account.charge_logging t.cycles Journal.cycles_per_write;
-    Sim.Clock.advance_by t.clock (cycles_to_ns Journal.cycles_per_write)
+    Sim.Clock.advance_by t.clock (cycles_to_ns Journal.cycles_per_write);
+    Obs.Metrics.incr t.obs.Obs.Recorder.journal_writes;
+    observe t Obs.Event.Debug
+      (Obs.Event.Journal_append
+         { kind = Journal.entry_kind entry; depth = Journal.depth journal + 1 })
   end;
   Journal.log journal entry
 
@@ -717,6 +733,9 @@ let journal_of_record _t (record : Hypercalls.record) = record.Hypercalls.journa
 (* ------------------------------------------------------------------ *)
 
 let run_timer_action t (s : stepper) cpu (e : Timer_heap.event) =
+  Obs.Metrics.incr t.obs.Obs.Recorder.timer_fires;
+  observe t ~cpu Obs.Event.Debug
+    (Obs.Event.Timer_fire { action = Timer_heap.action_name e.Timer_heap.action });
   match e.Timer_heap.action with
   | Timer_heap.Time_sync ->
     s.run "time_sync" (fun () -> t.time_sync_count <- t.time_sync_count + 1)
@@ -893,6 +912,18 @@ let do_hypercall t (s : stepper) rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
         ~logging:t.config.Config.nonidempotent_logging kind
   in
   let journal = journal_of_record t record in
+  let kind_name = Hypercalls.name kind in
+  let domid = vcpu.Domain.domid and vid = vcpu.Domain.vid in
+  Obs.Metrics.incr t.obs.Obs.Recorder.hypercall_entries;
+  (match retry_of with
+  | Some r ->
+    Obs.Metrics.incr t.obs.Obs.Recorder.hypercall_retries;
+    observe t ~cpu ~domid Obs.Event.Info
+      (Obs.Event.Hypercall_retry
+         { domid; vid; kind = kind_name; attempt = r.Hypercalls.retries })
+  | None ->
+    observe t ~cpu ~domid Obs.Event.Debug
+      (Obs.Event.Hypercall_entry { domid; vid; kind = kind_name; retry = false }));
   s.run "hypercall_entry" (fun () ->
       Cycle_account.note_entry t.cycles;
       percpu.Percpu.in_hypercall_depth <- percpu.Percpu.in_hypercall_depth + 1;
@@ -908,7 +939,13 @@ let do_hypercall t (s : stepper) rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
   exec_hypercall_body t s rng journal cpu vcpu record kind;
   s.run "hypercall_commit" (fun () ->
       record.Hypercalls.committed <- true;
-      Journal.commit journal);
+      let entries = Journal.depth journal in
+      if entries > 0 then
+        observe t ~cpu ~domid Obs.Event.Debug
+          (Obs.Event.Journal_commit { entries });
+      Journal.commit journal;
+      observe t ~cpu ~domid Obs.Event.Debug
+        (Obs.Event.Hypercall_commit { domid; vid; kind = kind_name }));
   s.run "hypercall_exit" (fun () ->
       vcpu.Domain.in_hypercall <- None;
       vcpu.Domain.retry_pending <- false;
@@ -982,7 +1019,15 @@ let retry_hypercall t rng (vcpu : Domain.vcpu) =
   | None -> ()
   | Some record ->
     let journal = journal_of_record t record in
-    if t.config.Config.nonidempotent_logging then Journal.undo_all journal;
+    if t.config.Config.nonidempotent_logging then begin
+      let entries = Journal.depth journal in
+      if entries > 0 then begin
+        Obs.Metrics.incr ~by:entries t.obs.Obs.Recorder.journal_undone;
+        observe t ~cpu:vcpu.Domain.processor ~domid:vcpu.Domain.domid
+          Obs.Event.Info (Obs.Event.Journal_undo { entries })
+      end;
+      Journal.undo_all journal
+    end;
     let cpu = vcpu.Domain.processor in
     let activity =
       Hypercall

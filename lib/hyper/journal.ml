@@ -18,11 +18,12 @@ type entry =
 
 type t = {
   mutable entries : entry list; (* newest first *)
+  mutable count : int; (* length of [entries], kept for O(1) depth *)
   mutable enabled : bool;
   mutable writes : int; (* total log appends, for cycle accounting *)
 }
 
-let create () = { entries = []; enabled = false; writes = 0 }
+let create () = { entries = []; count = 0; enabled = false; writes = 0 }
 
 let set_enabled t on = t.enabled <- on
 
@@ -33,8 +34,20 @@ let cycles_per_write = 70
 let log t entry =
   if t.enabled then begin
     t.entries <- entry :: t.entries;
+    t.count <- t.count + 1;
     t.writes <- t.writes + 1
   end
+
+(* Short entry-kind tag, used by the observability layer to label
+   journal-append events without exposing the payload types. *)
+let entry_kind = function
+  | Use_count_delta _ -> "use_count_delta"
+  | Validated_set _ -> "validated_set"
+  | Validated_cleared _ -> "validated_cleared"
+  | Type_change _ -> "type_change"
+  | Owner_change _ -> "owner_change"
+  | Counter_delta _ -> "counter_delta"
+  | Undo_fn _ -> "undo_fn"
 
 let undo_entry = function
   | Use_count_delta (d, delta) -> d.Pfn.use_count <- d.Pfn.use_count - delta
@@ -48,10 +61,13 @@ let undo_entry = function
 (* Undo everything logged since the last [commit], newest first. *)
 let undo_all t =
   List.iter undo_entry t.entries;
-  t.entries <- []
+  t.entries <- [];
+  t.count <- 0
 
 (* A hypercall completed: its changes are final, drop the log. *)
-let commit t = t.entries <- []
+let commit t =
+  t.entries <- [];
+  t.count <- 0
 
-let depth t = List.length t.entries
+let depth t = t.count
 let writes t = t.writes

@@ -15,6 +15,13 @@ type action =
   | Vcpu_timer of int * int (* (domid, vcpuid) singleshot timer *)
   | Generic_oneshot
 
+let action_name = function
+  | Time_sync -> "time_sync"
+  | Sched_tick cpu -> Printf.sprintf "sched_tick(cpu%d)" cpu
+  | Watchdog_tick -> "watchdog_tick"
+  | Vcpu_timer (domid, vid) -> Printf.sprintf "vcpu_timer(d%dv%d)" domid vid
+  | Generic_oneshot -> "oneshot"
+
 type event = {
   id : int;
   mutable deadline : Sim.Time.ns;

@@ -17,6 +17,7 @@ type totals = {
   mutable latency_sum : Sim.Time.ns;
   mutable latency_samples : int;
   notes : Sim.Stats.Counts.t;
+  mutable metrics : Obs.Metrics.snapshot; (* merged per-run metrics *)
 }
 
 let make_totals () =
@@ -31,6 +32,7 @@ let make_totals () =
     latency_sum = 0;
     latency_samples = 0;
     notes = Sim.Stats.Counts.create ();
+    metrics = Obs.Metrics.empty_snapshot;
   }
 
 let note t key = Sim.Stats.Counts.add t.notes key
@@ -70,7 +72,8 @@ let merge_into dst src =
   dst.recovered <- dst.recovered + src.recovered;
   dst.latency_sum <- dst.latency_sum + src.latency_sum;
   dst.latency_samples <- dst.latency_samples + src.latency_samples;
-  Sim.Stats.Counts.merge_into ~into:dst.notes src.notes
+  Sim.Stats.Counts.merge_into ~into:dst.notes src.notes;
+  dst.metrics <- Obs.Metrics.merge_snapshots dst.metrics src.metrics
 
 let merge a b =
   let t = make_totals () in
@@ -93,6 +96,7 @@ type snapshot = {
   s_latency_sum : Sim.Time.ns;
   s_latency_samples : int;
   s_notes : (string * int) list;
+  s_metrics : Obs.Metrics.snapshot; (* canonical: name-sorted lists *)
 }
 
 let snapshot t =
@@ -107,6 +111,7 @@ let snapshot t =
     s_latency_sum = t.latency_sum;
     s_latency_samples = t.latency_samples;
     s_notes = failure_notes t;
+    s_metrics = t.metrics;
   }
 
 let pp_snapshot fmt s =
@@ -140,7 +145,13 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk ~n
   let t0 = Unix.gettimeofday () in
   let run_one totals i =
     let seed = Int64.add base_seed (Int64.of_int i) in
-    add_outcome totals (Run.run { cfg with Run.seed })
+    (* A tiny per-run recorder: the campaign keeps only the metrics, so
+       the event ring is minimal; metrics collection is unconditional. *)
+    let recorder = Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error () in
+    add_outcome totals (Run.run_obs ~recorder { cfg with Run.seed });
+    totals.metrics <-
+      Obs.Metrics.merge_snapshots totals.metrics
+        (Obs.Recorder.metrics_snapshot recorder)
   in
   let totals =
     Pool.map_reduce ~jobs ?chunk ~n ~init:make_totals ~body:run_one

@@ -60,6 +60,7 @@ and detected = {
   success : bool; (* the paper's per-setup success definition *)
   no_vmf : bool; (* detected errors with no AppVM failure at all *)
   recovery_latency : Sim.Time.ns;
+  breakdown : Latency_model.breakdown option; (* per-phase recovery spans *)
   failure_reason : string option; (* why recovery failed, when it did *)
 }
 
@@ -67,6 +68,19 @@ let outcome_class = function
   | Non_manifested -> `Non_manifested
   | Silent_corruption -> `Sdc
   | Detected _ -> `Detected
+
+(* The one canonical outcome-class name, shared by display code, metric
+   names and the [Outcome_classified] event payload. *)
+let outcome_name = function
+  | Non_manifested -> "non_manifested"
+  | Silent_corruption -> "sdc"
+  | Detected _ -> "detected"
+
+(* Human-readable variant of the same classification. *)
+let outcome_label = function
+  | Non_manifested -> "non-manifested"
+  | Silent_corruption -> "silent data corruption"
+  | Detected _ -> "detected"
 
 (* Mutable state threaded through a run. *)
 type state = {
@@ -79,7 +93,7 @@ type state = {
   mutable fault_applied : bool;
 }
 
-let boot_state cfg =
+let boot_state ?recorder cfg =
   let rng = Sim.Rng.create cfg.seed in
   let clock = Sim.Clock.create () in
   let hv_setup =
@@ -88,8 +102,9 @@ let boot_state cfg =
     | Three_appvm -> Hypervisor.Three_appvm
   in
   let hv =
-    Hypervisor.boot ~mconfig:cfg.mconfig ~vcpus_per_cpu:cfg.vcpus_per_cpu
-      ~config:cfg.hv_config ~setup:hv_setup clock
+    Hypervisor.boot ~mconfig:cfg.mconfig ?obs:recorder
+      ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config ~setup:hv_setup
+      clock
   in
   let vcpus = cfg.vcpus_per_cpu in
   let benchmarks =
@@ -163,11 +178,25 @@ let arm_fault st =
           decr countdown;
           if !countdown <= 0 then begin
             st.fault_applied <- true;
+            let note_fault target_name =
+              Obs.Metrics.incr hv.Hypervisor.obs.Obs.Recorder.faults_injected;
+              Obs.Recorder.event hv.Hypervisor.obs
+                ~time:(Sim.Clock.now hv.Hypervisor.clock)
+                ~cpu:ctx.Hypervisor.cpu Obs.Event.Warn
+                (Obs.Event.Fault_injected { target = target_name })
+            in
             for _ = 1 to manifestation.Profile.corruptions do
-              Corrupt.apply hv st.rng (Profile.sample_corruption_target st.rng)
+              let target = Profile.sample_corruption_target st.rng in
+              note_fault (Corrupt.name target);
+              Corrupt.apply hv st.rng target
             done;
-            if manifestation.Profile.guest_hit then
-              Corrupt.apply hv st.rng Corrupt.Guest_frame;
+            if manifestation.Profile.guest_hit then begin
+              note_fault (Corrupt.name Corrupt.Guest_frame);
+              Corrupt.apply hv st.rng Corrupt.Guest_frame
+            end;
+            (match manifestation.Profile.crash_now with
+            | `Panic | `Hang -> note_fault "failstop"
+            | `No -> ());
             match manifestation.Profile.crash_now with
             | `Panic ->
               Crash.panic "injected fault on cpu%d in %s/%s" ctx.Hypervisor.cpu
@@ -355,9 +384,12 @@ let post_recovery_phase st =
      fail ("post-recovery crash: " ^ Crash.describe d));
   (!hv_ok, !new_vm_ok, !reason)
 
-(* Execute one complete fault-injection run. *)
-let run (cfg : config) : outcome =
-  let st = boot_state cfg in
+(* Execute one complete fault-injection run. [recorder] (optional) is the
+   observability recorder the run's hypervisor reports into; callers that
+   want the trace/spans/metrics of the run pass one and inspect it after. *)
+let run_obs ?recorder (cfg : config) : outcome =
+  let st = boot_state ?recorder cfg in
+  let obs = st.hv.Hypervisor.obs in
   install_cpu_tracker st;
   (* Warm-up: the first-level trigger fires well after benchmark start. *)
   for _ = 1 to cfg.warmup_activities do
@@ -376,19 +408,29 @@ let run (cfg : config) : outcome =
        run_one_activity st
      done
    with Crash.Hypervisor_crash d -> detection := Some d);
-  match !detection with
-  | None ->
-    st.hv.Hypervisor.step_hook <- None;
-    let any_sdc =
-      List.exists
-        (fun (d : Domain.t) -> d.Domain.guest_sdc || d.Domain.guest_failed)
-        (Hypervisor.app_domains st.hv)
-    in
-    if any_sdc then Silent_corruption else Non_manifested
-  | Some det ->
-    st.hv.Hypervisor.step_hook <- None;
-    let faulted_cpu = st.last_cpu in
-    Sim.Clock.advance_by st.hv.Hypervisor.clock (Crash.detection_latency det);
+  let out =
+    match !detection with
+    | None ->
+      st.hv.Hypervisor.step_hook <- None;
+      let any_sdc =
+        List.exists
+          (fun (d : Domain.t) -> d.Domain.guest_sdc || d.Domain.guest_failed)
+          (Hypervisor.app_domains st.hv)
+      in
+      if any_sdc then Silent_corruption else Non_manifested
+    | Some det ->
+      st.hv.Hypervisor.step_hook <- None;
+      let faulted_cpu = st.last_cpu in
+      Obs.Metrics.incr obs.Obs.Recorder.detections;
+      Obs.Recorder.event obs
+        ~time:(Sim.Clock.now st.hv.Hypervisor.clock)
+        ~cpu:faulted_cpu Obs.Event.Error
+        (Obs.Event.Detection
+           {
+             kind = (match det with Crash.Panic _ -> "panic" | Crash.Hang _ -> "hang");
+             message = Crash.describe det;
+           });
+      Sim.Clock.advance_by st.hv.Hypervisor.clock (Crash.detection_latency det);
     let busy_cpus = abandon_concurrent_work st ~faulted_cpu in
     enter_detection_context st;
     let recovery_result =
@@ -424,6 +466,7 @@ let run (cfg : config) : outcome =
           success = false;
           no_vmf = false;
           recovery_latency = 0;
+          breakdown = None;
           failure_reason = Some ("recovery aborted: " ^ why);
         }
     | Ok recovery ->
@@ -450,5 +493,25 @@ let run (cfg : config) : outcome =
           success;
           no_vmf;
           recovery_latency = recovery.Recovery.Engine.latency;
+          breakdown = Some recovery.Recovery.Engine.breakdown;
           failure_reason = reason;
         })
+  in
+  (* Classify: one counter per outcome class, the latency histogram for
+     completed recoveries, and a terminal event closing the timeline. *)
+  let now = Sim.Clock.now st.hv.Hypervisor.clock in
+  let name = outcome_name out in
+  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.Recorder.metrics ("outcome." ^ name));
+  (match out with
+  | Detected d when d.recovery_latency > 0 ->
+    Obs.Metrics.observe obs.Obs.Recorder.recovery_latency_ms
+      (d.recovery_latency / 1_000_000)
+  | Detected _ | Non_manifested | Silent_corruption -> ());
+  Obs.Metrics.set
+    (Obs.Metrics.gauge obs.Obs.Recorder.metrics "run.end_time_ns")
+    now;
+  Obs.Recorder.event obs ~time:now Obs.Event.Info
+    (Obs.Event.Outcome_classified { name });
+  out
+
+let run (cfg : config) : outcome = run_obs cfg

@@ -1,0 +1,190 @@
+(** Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+    Instruments are registered by name; registering the same name twice
+    returns the same instrument (with a kind check), so independent call
+    sites can share a counter. A registry is snapshotted into an
+    immutable, canonically ordered value; snapshots merge with a
+    commutative and associative operation (counters and histogram buckets
+    sum, gauges take the max), which is what lets parallel campaigns
+    aggregate per-run metrics bit-identically for any worker count --
+    the same contract {!Inject.Pool} relies on for the plain totals. *)
+
+type counter = { mutable count : int }
+
+type gauge = { mutable value : int }
+
+type histogram = {
+  bounds : int array; (* inclusive upper bounds, strictly increasing *)
+  counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : int;
+  mutable samples : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { table : (string, instrument) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %S already registered as a %s" name
+         (kind_name other))
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.add t.table name (Counter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> g
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.gauge: %S already registered as a %s" name
+         (kind_name other))
+  | None ->
+    let g = { value = 0 } in
+    Hashtbl.add t.table name (Gauge g);
+    g
+
+let histogram t name ~bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Metrics.histogram: empty bucket bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    bounds;
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) ->
+    if h.bounds <> bounds then
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S re-registered with different bounds" name);
+    h
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %S already registered as a %s" name
+         (kind_name other))
+  | None ->
+    let h =
+      {
+        bounds = Array.copy bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0;
+        samples = 0;
+      }
+    in
+    Hashtbl.add t.table name (Histogram h);
+    h
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let set g v = g.value <- v
+
+(* A value lands in the first bucket whose (inclusive) upper bound is
+   >= v; values above every bound land in the trailing overflow bucket. *)
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec find i = if i >= n then n else if v <= h.bounds.(i) then i else find (i + 1) in
+  let idx = find 0 in
+  h.counts.(idx) <- h.counts.(idx) + 1;
+  h.sum <- h.sum + v;
+  h.samples <- h.samples + 1
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  h_bounds : int list;
+  h_counts : int list; (* length = length h_bounds + 1 *)
+  h_sum : int;
+  h_samples : int;
+}
+
+(* Canonical (name-sorted) immutable view. Two registries produce equal
+   snapshots iff every instrument agrees, regardless of registration or
+   accumulation order -- the determinism tests compare these directly. *)
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let empty_snapshot = { counters = []; gauges = []; histograms = [] }
+
+let snapshot t =
+  let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name instr ->
+      match instr with
+      | Counter c -> counters := (name, c.count) :: !counters
+      | Gauge g -> gauges := (name, g.value) :: !gauges
+      | Histogram h ->
+        histograms :=
+          ( name,
+            {
+              h_bounds = Array.to_list h.bounds;
+              h_counts = Array.to_list h.counts;
+              h_sum = h.sum;
+              h_samples = h.samples;
+            } )
+          :: !histograms)
+    t.table;
+  {
+    counters = by_name !counters;
+    gauges = by_name !gauges;
+    histograms = by_name !histograms;
+  }
+
+(* Merge two name-sorted assoc lists, combining values of shared keys. *)
+let rec merge_assoc combine a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ka, va) :: ra, (kb, vb) :: rb ->
+    let c = String.compare ka kb in
+    if c < 0 then (ka, va) :: merge_assoc combine ra b
+    else if c > 0 then (kb, vb) :: merge_assoc combine a rb
+    else (ka, combine ka va vb) :: merge_assoc combine ra rb
+
+let merge_hist name a b =
+  if a.h_bounds <> b.h_bounds then
+    invalid_arg
+      (Printf.sprintf "Metrics.merge: histogram %S has mismatched bounds" name);
+  {
+    h_bounds = a.h_bounds;
+    h_counts = List.map2 ( + ) a.h_counts b.h_counts;
+    h_sum = a.h_sum + b.h_sum;
+    h_samples = a.h_samples + b.h_samples;
+  }
+
+(* Commutative, associative: counters and histogram buckets sum; gauges
+   (point-in-time values) take the max, the only order-free choice that
+   keeps "largest observed" semantics across runs. *)
+let merge_snapshots a b =
+  {
+    counters = merge_assoc (fun _ x y -> x + y) a.counters b.counters;
+    gauges = merge_assoc (fun _ x y -> max x y) a.gauges b.gauges;
+    histograms = merge_assoc merge_hist a.histograms b.histograms;
+  }
+
+let pp_snapshot fmt s =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s %d@." k v) s.counters;
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s %d (gauge)@." k v) s.gauges;
+  List.iter
+    (fun (k, h) ->
+      Format.fprintf fmt "%s samples=%d sum=%d buckets=[%s]@." k h.h_samples
+        h.h_sum
+        (String.concat "; " (List.map string_of_int h.h_counts)))
+    s.histograms

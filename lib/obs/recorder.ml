@@ -1,0 +1,63 @@
+(** A recorder bundles the three observability surfaces of one run: the
+    typed event ring, the recovery-span collector and the metrics
+    registry. The simulated hypervisor carries exactly one recorder;
+    the injector threads it from boot to outcome classification.
+
+    The hot-path instruments (journal writes, hypercall entries/retries,
+    timer fires...) are registered once at creation and cached as plain
+    record fields, so normal-operation code pays a single unguarded
+    integer increment per metric -- no name lookup on the hot path. *)
+
+type t = {
+  trace : Trace.t;
+  spans : Span.t;
+  metrics : Metrics.t;
+  (* Cached hot-path instruments (all registered by name in [metrics]). *)
+  hypercall_entries : Metrics.counter;
+  hypercall_retries : Metrics.counter;
+  journal_writes : Metrics.counter;
+  journal_undone : Metrics.counter;
+  timer_fires : Metrics.counter;
+  recovery_lock_releases : Metrics.counter;
+  faults_injected : Metrics.counter;
+  detections : Metrics.counter;
+  recovery_latency_ms : Metrics.histogram;
+}
+
+(* Fixed recovery-latency buckets in milliseconds: NiLiHype lands in the
+   16..32 ms region, ReHype around 700 ms; sub-ms and multi-second tails
+   get their own buckets so miscalibrations show up. *)
+let latency_bounds_ms = [| 1; 4; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
+
+let create ?(capacity = 4096) ?(min_level = Event.Info) () =
+  let metrics = Metrics.create () in
+  {
+    trace = Trace.create ~capacity ~min_level ();
+    spans = Span.create ();
+    metrics;
+    hypercall_entries = Metrics.counter metrics "hypercall.entries";
+    hypercall_retries = Metrics.counter metrics "hypercall.retries";
+    journal_writes = Metrics.counter metrics "journal.writes";
+    journal_undone = Metrics.counter metrics "journal.entries_undone";
+    timer_fires = Metrics.counter metrics "timer.fires";
+    recovery_lock_releases = Metrics.counter metrics "recovery.locks_released";
+    faults_injected = Metrics.counter metrics "inject.faults";
+    detections = Metrics.counter metrics "detect.detections";
+    recovery_latency_ms =
+      Metrics.histogram metrics "recovery.latency_ms" ~bounds:latency_bounds_ms;
+  }
+
+let set_min_level t level = Trace.set_min_level t.trace level
+
+let clear t =
+  Trace.clear t.trace;
+  Span.clear t.spans
+
+(* Record a typed event. [domid = -1] when no domain is attributable. *)
+let event t ~time ?(cpu = -1) ?(domid = -1) level payload =
+  Trace.record t.trace { Event.time; level; cpu; domid; payload }
+
+let span t ~name ~cat ~track ~start ~duration =
+  Span.add t.spans ~name ~cat ~track ~start ~duration
+
+let metrics_snapshot t = Metrics.snapshot t.metrics

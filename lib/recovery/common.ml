@@ -8,16 +8,49 @@ open Hyper
 type step_log = {
   mutable steps : (string * Sim.Time.ns) list; (* reverse order *)
   clock : Sim.Clock.t;
+  obs : Obs.Recorder.t;
+  mechanism : string; (* "NiLiHype" / "ReHype", span category suffix *)
+  track : int; (* CPU the recovery runs on (Chrome-trace tid) *)
 }
 
-let make_log clock = { steps = []; clock }
+let make_log ?(track = 0) ~mechanism (hv : Hypervisor.t) =
+  { steps = []; clock = hv.Hypervisor.clock; obs = hv.Hypervisor.obs; mechanism; track }
 
-(* Record a named recovery step that takes [cost] simulated time. *)
+(* Record a named recovery step that takes [cost] simulated time. Each
+   step becomes both a latency-breakdown entry and an observability span
+   with the same name and duration, so summing span durations per phase
+   reproduces [Latency_model.breakdown] exactly. *)
 let timed log name cost f =
+  let start = Sim.Clock.now log.clock in
   Sim.Clock.advance_by log.clock cost;
   let r = f () in
   log.steps <- (name, cost) :: log.steps;
+  Obs.Recorder.span log.obs ~name
+    ~cat:("recovery:" ^ log.mechanism)
+    ~track:log.track ~start ~duration:cost;
+  Obs.Recorder.event log.obs ~time:start ~cpu:log.track Obs.Event.Info
+    (Obs.Event.Recovery_step { mechanism = log.mechanism; step = name });
   r
+
+(* Debug-level note that a specific state-consistency enhancement ran. *)
+let note_enhancement (hv : Hypervisor.t) ~mechanism ~cpu e =
+  Obs.Recorder.event hv.Hypervisor.obs
+    ~time:(Sim.Clock.now hv.Hypervisor.clock)
+    ~cpu Obs.Event.Debug
+    (Obs.Event.Recovery_step
+       { mechanism; step = "enhancement:" ^ Enhancement.name e })
+
+(* Record forced lock releases performed during recovery: a typed event
+   plus the [recovery.locks_released] counter. *)
+let note_lock_release (hv : Hypervisor.t) ~cpu ~name count =
+  if count > 0 then begin
+    Obs.Metrics.incr ~by:count
+      hv.Hypervisor.obs.Obs.Recorder.recovery_lock_releases;
+    Obs.Recorder.event hv.Hypervisor.obs
+      ~time:(Sim.Clock.now hv.Hypervisor.clock)
+      ~cpu Obs.Event.Info
+      (Obs.Event.Lock_release { name; count })
+  end
 
 let breakdown log : Latency_model.breakdown =
   { Latency_model.steps = List.rev log.steps }

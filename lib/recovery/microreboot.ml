@@ -21,9 +21,8 @@ type result = {
 }
 
 let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
-  ignore detected_on;
   Common.check_recovery_handler hv;
-  let log = Common.make_log hv.Hypervisor.clock in
+  let log = Common.make_log ~track:detected_on ~mechanism:"ReHype" hv in
   let frames = Hypervisor.frames hv in
   let cpus = Hypervisor.cpu_count hv in
   let machine = hv.Hypervisor.machine in
@@ -117,6 +116,8 @@ let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
           if not (List.memq v (Sched.queued sched ~cpu:v.Domain.processor)) then
             Sched.enqueue sched v)
         (Hypervisor.all_vcpus hv));
+  Common.note_lock_release hv ~cpu:detected_on ~name:"heap"
+    !heap_locks_released;
   Common.timed log "Identify valid page frames, relocate boot modules"
     Latency_model.reboot_relocate_modules (fun () -> ());
   Common.timed log "Others (state re-integration, domain wiring)"

@@ -23,9 +23,14 @@ type result = {
    recovery process itself fails (e.g. the handler was corrupted). *)
 let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
   Common.check_recovery_handler hv;
-  let log = Common.make_log hv.Hypervisor.clock in
+  let log = Common.make_log ~track:detected_on ~mechanism:"NiLiHype" hv in
   let cpus = Hypervisor.cpu_count hv in
-  let has e = Enhancement.mem enh e in
+  let has e =
+    let present = Enhancement.mem enh e in
+    if present then
+      Common.note_enhancement hv ~mechanism:"NiLiHype" ~cpu:detected_on e;
+    present
+  in
 
   (* Phase 1: stop the world. The detecting CPU disables its interrupts
      and IPIs the others; each CPU discards its hypervisor execution
@@ -66,6 +71,10 @@ let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
             ~now:(Sim.Clock.now hv.Hypervisor.clock);
       Common.setup_retries hv ~enh;
       Common.restore_fs_gs hv ~enh);
+  Common.note_lock_release hv ~cpu:detected_on ~name:"heap"
+    !heap_locks_released;
+  Common.note_lock_release hv ~cpu:detected_on ~name:"static"
+    !static_locks_released;
 
   (* Phase 3: page-frame descriptor consistency scan -- the dominant
      latency component (21 ms for 8 GB), proportional to memory size. *)

@@ -6,7 +6,7 @@ type level = Debug | Info | Warn | Error
 type entry = { time : Time.ns; level : level; message : string }
 
 type t = {
-  mutable entries : entry array;
+  entries : entry array;
   mutable size : int;
   mutable head : int;
   capacity : int;
@@ -15,21 +15,23 @@ type t = {
 
 let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
 
+let dummy = { time = 0; level = Debug; message = "" }
+
+(* The ring is allocated eagerly so the first recorded event pays no
+   allocation and [record] stays branch-free on the storage. *)
 let create ?(capacity = 4096) ?(min_level = Info) () =
-  {
-    entries = [||];
-    size = 0;
-    head = 0;
-    capacity = max 1 capacity;
-    min_level;
-  }
+  let capacity = max 1 capacity in
+  { entries = Array.make capacity dummy; size = 0; head = 0; capacity; min_level }
 
 let set_min_level t level = t.min_level <- level
 
+let clear t =
+  t.size <- 0;
+  t.head <- 0;
+  Array.fill t.entries 0 t.capacity dummy
+
 let record t ~time level message =
   if level_rank level >= level_rank t.min_level then begin
-    if Array.length t.entries = 0 then
-      t.entries <- Array.make t.capacity { time; level; message };
     t.entries.(t.head) <- { time; level; message };
     t.head <- (t.head + 1) mod t.capacity;
     if t.size < t.capacity then t.size <- t.size + 1

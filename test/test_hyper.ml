@@ -304,6 +304,25 @@ let test_journal_undo_order () =
   Hyper.Journal.undo_all j;
   Alcotest.check (Alcotest.list Alcotest.int) "newest first" [ 1; 2 ] !log
 
+let test_journal_depth_tracks_entries () =
+  let j = Hyper.Journal.create () in
+  Hyper.Journal.set_enabled j true;
+  let x = ref 0 in
+  checki "empty journal" 0 (Hyper.Journal.depth j);
+  Hyper.Journal.log j (Hyper.Journal.Counter_delta (x, 1));
+  Hyper.Journal.log j (Hyper.Journal.Counter_delta (x, 2));
+  checki "two entries" 2 (Hyper.Journal.depth j);
+  Hyper.Journal.undo_all j;
+  checki "zero after undo_all" 0 (Hyper.Journal.depth j);
+  Hyper.Journal.log j (Hyper.Journal.Counter_delta (x, 3));
+  checki "one entry" 1 (Hyper.Journal.depth j);
+  Hyper.Journal.commit j;
+  checki "zero after commit" 0 (Hyper.Journal.depth j);
+  (* Logging while disabled records nothing, so depth stays 0. *)
+  Hyper.Journal.set_enabled j false;
+  Hyper.Journal.log j (Hyper.Journal.Counter_delta (x, 4));
+  checki "disabled journal stays empty" 0 (Hyper.Journal.depth j)
+
 (* ------------------------- Boot / domains --------------------------- *)
 
 let test_boot_three_appvm () =
@@ -617,6 +636,8 @@ let () =
             test_journal_disabled_logs_nothing;
           Alcotest.test_case "commit clears" `Quick test_journal_commit_clears;
           Alcotest.test_case "undo order" `Quick test_journal_undo_order;
+          Alcotest.test_case "depth tracks entries" `Quick
+            test_journal_depth_tracks_entries;
         ] );
       ( "boot",
         [

@@ -1,0 +1,240 @@
+(* Tests for the observability layer: the typed event ring, metrics
+   registry merge semantics, campaign metric determinism across worker
+   counts, and the Chrome-trace exporter (valid JSON, monotone
+   timestamps, span sums reproducing the latency breakdown). *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let ev ?(level = Obs.Event.Info) ?(cpu = 0) ?(domid = -1) ~time payload =
+  { Obs.Event.time; level; cpu; domid; payload }
+
+let msg ?level ~time s = ev ?level ~time (Obs.Event.Message s)
+
+(* ------------------------- Event ring ------------------------------- *)
+
+let test_ring_wraparound () =
+  let tr = Obs.Trace.create ~capacity:4 ~min_level:Obs.Event.Debug () in
+  for i = 1 to 6 do
+    Obs.Trace.record tr (msg ~time:i (Printf.sprintf "e%d" i))
+  done;
+  checki "ring full" 4 (Obs.Trace.size tr);
+  checki "two overwritten" 2 (Obs.Trace.dropped tr);
+  let times = List.map (fun e -> e.Obs.Event.time) (Obs.Trace.to_list tr) in
+  Alcotest.check (Alcotest.list Alcotest.int) "oldest-first, newest survive"
+    [ 3; 4; 5; 6 ] times
+
+let test_ring_level_filter_at_record () =
+  let tr = Obs.Trace.create ~capacity:8 ~min_level:Obs.Event.Warn () in
+  Obs.Trace.record tr (msg ~level:Obs.Event.Debug ~time:1 "d");
+  Obs.Trace.record tr (msg ~level:Obs.Event.Info ~time:2 "i");
+  checki "below threshold dropped at record" 0 (Obs.Trace.size tr);
+  Obs.Trace.record tr (msg ~level:Obs.Event.Warn ~time:3 "w");
+  Obs.Trace.record tr (msg ~level:Obs.Event.Error ~time:4 "e");
+  checki "warn and error kept" 2 (Obs.Trace.size tr);
+  (* Lowering the threshold afterwards admits finer events. *)
+  Obs.Trace.set_min_level tr Obs.Event.Debug;
+  Obs.Trace.record tr (msg ~level:Obs.Event.Debug ~time:5 "d2");
+  checki "debug kept after set_min_level" 3 (Obs.Trace.size tr)
+
+let test_ring_readback_filters () =
+  let tr = Obs.Trace.create ~capacity:16 ~min_level:Obs.Event.Debug () in
+  Obs.Trace.record tr
+    (ev ~level:Obs.Event.Debug ~time:1
+       (Obs.Event.Journal_append { kind = "use_count_delta"; depth = 1 }));
+  Obs.Trace.record tr
+    (ev ~level:Obs.Event.Error ~time:2
+       (Obs.Event.Detection { kind = "panic"; message = "bad" }));
+  Obs.Trace.record tr (msg ~level:Obs.Event.Info ~time:3 "hello");
+  checki "all kept" 3 (Obs.Trace.size tr);
+  checki "level narrows readback" 1
+    (List.length (Obs.Trace.to_list ~min_level:Obs.Event.Error tr));
+  checki "subsystem narrows readback" 1
+    (List.length (Obs.Trace.to_list ~subsystem:Obs.Event.Journal tr))
+
+let test_ring_clear () =
+  let tr = Obs.Trace.create ~capacity:2 ~min_level:Obs.Event.Debug () in
+  for i = 1 to 5 do
+    Obs.Trace.record tr (msg ~time:i "x")
+  done;
+  Obs.Trace.clear tr;
+  checki "empty after clear" 0 (Obs.Trace.size tr);
+  checki "dropped reset" 0 (Obs.Trace.dropped tr);
+  checkb "to_list empty" true (Obs.Trace.to_list tr = []);
+  Obs.Trace.record tr (msg ~time:9 "y");
+  checki "reusable after clear" 1 (Obs.Trace.size tr)
+
+(* ------------------------- Metrics ---------------------------------- *)
+
+let test_histogram_bucket_boundaries () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" ~bounds:[| 10; 20 |] in
+  List.iter (Obs.Metrics.observe h) [ 0; 10; 11; 20; 21; 1000 ];
+  let s = Obs.Metrics.snapshot m in
+  match s.Obs.Metrics.histograms with
+  | [ ("lat", hs) ] ->
+    (* Upper bounds are inclusive; values beyond the last bound land in
+       the trailing overflow bucket. *)
+    Alcotest.check (Alcotest.list Alcotest.int) "bucket counts" [ 2; 2; 2 ]
+      hs.Obs.Metrics.h_counts;
+    checki "samples" 6 hs.Obs.Metrics.h_samples;
+    checki "sum" 1062 hs.Obs.Metrics.h_sum
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let test_instrument_reuse () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr (Obs.Metrics.counter m "c");
+  Obs.Metrics.incr ~by:4 (Obs.Metrics.counter m "c");
+  let s = Obs.Metrics.snapshot m in
+  checki "re-registration shares the instrument" 5
+    (List.assoc "c" s.Obs.Metrics.counters);
+  checkb "kind mismatch rejected" true
+    (match Obs.Metrics.gauge m "c" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let snap build =
+  let m = Obs.Metrics.create () in
+  build m;
+  Obs.Metrics.snapshot m
+
+let test_merge_commutative () =
+  let a =
+    snap (fun m ->
+        Obs.Metrics.incr ~by:3 (Obs.Metrics.counter m "shared");
+        Obs.Metrics.incr (Obs.Metrics.counter m "only_a");
+        Obs.Metrics.set (Obs.Metrics.gauge m "g") 7;
+        Obs.Metrics.observe (Obs.Metrics.histogram m "h" ~bounds:[| 5; 10 |]) 4)
+  in
+  let b =
+    snap (fun m ->
+        Obs.Metrics.incr ~by:2 (Obs.Metrics.counter m "shared");
+        Obs.Metrics.incr (Obs.Metrics.counter m "only_b");
+        Obs.Metrics.set (Obs.Metrics.gauge m "g") 5;
+        Obs.Metrics.observe (Obs.Metrics.histogram m "h" ~bounds:[| 5; 10 |]) 12)
+  in
+  let ab = Obs.Metrics.merge_snapshots a b in
+  let ba = Obs.Metrics.merge_snapshots b a in
+  checkb "merge is commutative" true (ab = ba);
+  checkb "empty is a unit" true
+    (Obs.Metrics.merge_snapshots a Obs.Metrics.empty_snapshot = a
+    && Obs.Metrics.merge_snapshots Obs.Metrics.empty_snapshot a = a);
+  checki "shared counters sum" 5 (List.assoc "shared" ab.Obs.Metrics.counters);
+  checki "disjoint counter kept" 1 (List.assoc "only_a" ab.Obs.Metrics.counters);
+  checki "gauges take the max" 7 (List.assoc "g" ab.Obs.Metrics.gauges);
+  let h = List.assoc "h" ab.Obs.Metrics.histograms in
+  Alcotest.check (Alcotest.list Alcotest.int) "histogram buckets pointwise"
+    [ 1; 0; 1 ] h.Obs.Metrics.h_counts;
+  checki "histogram sum" 16 h.Obs.Metrics.h_sum
+
+(* ------------------------- Campaign metrics ------------------------- *)
+
+let run_cfg ?(fault = Inject.Fault.Register) ~seed () =
+  {
+    Inject.Run.default_config with
+    Inject.Run.seed;
+    fault;
+    mech = Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+  }
+
+let test_campaign_metrics_parallel_identical () =
+  let cfg = run_cfg ~seed:0L () in
+  let seq = Inject.Campaign.run ~base_seed:42L ~jobs:1 ~n:40 cfg in
+  let par = Inject.Campaign.run ~base_seed:42L ~jobs:4 ~n:40 cfg in
+  let sm (r : Inject.Campaign.result) =
+    (Inject.Campaign.snapshot r.Inject.Campaign.totals).Inject.Campaign.s_metrics
+  in
+  checkb "jobs=1 and jobs=4 metrics bit-identical" true (sm seq = sm par);
+  checkb "aggregate metrics non-empty" true
+    ((sm seq).Obs.Metrics.counters <> [])
+
+(* ------------------------- Chrome-trace export ---------------------- *)
+
+let get msg = function Some v -> v | None -> Alcotest.fail msg
+
+let test_chrome_trace_roundtrip () =
+  let recorder =
+    Obs.Recorder.create ~capacity:65536 ~min_level:Obs.Event.Debug ()
+  in
+  let outcome =
+    Inject.Run.run_obs ~recorder (run_cfg ~fault:Inject.Fault.Failstop ~seed:7L ())
+  in
+  let steps =
+    match outcome with
+    | Inject.Run.Detected { Inject.Run.breakdown = Some b; _ } ->
+      b.Hyper.Latency_model.steps
+    | _ -> Alcotest.fail "failstop run must be detected with a breakdown"
+  in
+  (* Per-phase span sums reproduce the latency breakdown exactly. *)
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "span sums equal breakdown" steps
+    (Obs.Span.sums_by_name recorder.Obs.Recorder.spans);
+  let text = Obs.Export.chrome_trace_of_recorder recorder in
+  match Obs.Json.parse text with
+  | Error e -> Alcotest.fail ("exporter produced invalid JSON: " ^ e)
+  | Ok j ->
+    let rows =
+      get "traceEvents must be an array"
+        (Option.bind (Obs.Json.member "traceEvents" j) Obs.Json.to_list)
+    in
+    checkb "trace has rows" true (rows <> []);
+    let spans = ref 0 and last = ref neg_infinity in
+    List.iter
+      (fun row ->
+        let name =
+          get "row name must be a string"
+            (Option.bind (Obs.Json.member "name" row) Obs.Json.to_string)
+        in
+        checkb "row name non-empty" true (name <> "");
+        let ts =
+          get "row ts must be a number"
+            (Option.bind (Obs.Json.member "ts" row) Obs.Json.to_number)
+        in
+        checkb "ts non-negative" true (ts >= 0.0);
+        checkb "ts non-decreasing" true (ts >= !last);
+        last := ts;
+        match
+          Option.bind (Obs.Json.member "ph" row) Obs.Json.to_string
+        with
+        | Some "X" ->
+          incr spans;
+          let dur =
+            get "span dur must be a number"
+              (Option.bind (Obs.Json.member "dur" row) Obs.Json.to_number)
+          in
+          checkb "span dur non-negative" true (dur >= 0.0)
+        | Some "i" -> ()
+        | _ -> Alcotest.fail "row phase must be X or i")
+      rows;
+    checki "one span row per breakdown phase" (List.length steps) !spans
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "record-time level filter" `Quick
+            test_ring_level_filter_at_record;
+          Alcotest.test_case "readback filters" `Quick test_ring_readback_filters;
+          Alcotest.test_case "clear" `Quick test_ring_clear;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "instrument reuse" `Quick test_instrument_reuse;
+          Alcotest.test_case "merge commutative" `Quick test_merge_commutative;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 metrics identical" `Slow
+            test_campaign_metrics_parallel_identical;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome-trace roundtrip" `Quick
+            test_chrome_trace_roundtrip;
+        ] );
+    ]

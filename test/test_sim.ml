@@ -271,6 +271,19 @@ let test_trace_level_filter () =
   Sim.Trace.record t ~time:0 Sim.Trace.Error "kept";
   checki "only warn+" 1 (List.length (Sim.Trace.to_list t))
 
+let test_trace_clear () =
+  let t = Sim.Trace.create ~capacity:3 ~min_level:Sim.Trace.Debug () in
+  for i = 1 to 5 do
+    Sim.Trace.record t ~time:i Sim.Trace.Info (string_of_int i)
+  done;
+  Sim.Trace.clear t;
+  checki "empty after clear" 0 (List.length (Sim.Trace.to_list t));
+  Sim.Trace.record t ~time:6 Sim.Trace.Info "fresh";
+  let entries = Sim.Trace.to_list t in
+  checki "reusable after clear" 1 (List.length entries);
+  check Alcotest.string "new entry first" "fresh"
+    (List.hd entries).Sim.Trace.message
+
 let () =
   Alcotest.run "sim"
     [
@@ -326,5 +339,6 @@ let () =
         [
           Alcotest.test_case "capacity" `Quick test_trace_capacity;
           Alcotest.test_case "level filter" `Quick test_trace_level_filter;
+          Alcotest.test_case "clear" `Quick test_trace_clear;
         ] );
     ]
