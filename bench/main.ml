@@ -13,13 +13,17 @@ let sections = ref []
 let jobs = ref 1 (* 0 = one worker domain per recommended core *)
 let json_out = ref "BENCH_campaign.json"
 let obs_out = ref "OBS_campaign.json"
+let scaling_out = ref "BENCH_scaling.json"
+let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
 
 let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 
-(* campaign_smoke is a perf-tracking target, not part of the paper
-   reproduction, so it only runs when named explicitly. *)
+(* campaign_smoke and scaling are perf-tracking targets, not part of the
+   paper reproduction, so they only run when named explicitly. *)
+let perf_sections = [ "campaign_smoke"; "scaling" ]
+
 let section name =
-  if name = "campaign_smoke" then List.mem name !sections
+  if List.mem name perf_sections then List.mem name !sections
   else !sections = [] || List.mem name !sections
 
 let hr title = Format.printf "@.==== %s ====@." title
@@ -403,8 +407,22 @@ let microbench () =
 (* tracked across PRs.                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Campaigns allocate a few hundred kwords of minor heap per run (see the
+   GC-budget test); with the default 256 kword minor heap every worker
+   triggers a stop-the-world collection -- a cross-domain rendezvous --
+   several times per run, which is what throttles [jobs > cores]
+   oversubscription. A campaign-sized minor heap (4 Mwords per domain,
+   ~32 MB) makes collections ~16x rarer without changing any result:
+   totals depend only on seeds, never on GC scheduling. *)
+let tune_gc_for_campaigns () =
+  let current = Gc.get () in
+  let want = 4_194_304 in
+  if current.Gc.minor_heap_size < want then
+    Gc.set { current with Gc.minor_heap_size = want }
+
 let campaign_smoke () =
   hr "Campaign engine smoke benchmark (parallel vs sequential)";
+  tune_gc_for_campaigns ();
   let n = if !full then 1000 else 240 in
   let cfg =
     {
@@ -439,11 +457,12 @@ let campaign_smoke () =
   Format.printf "speedup jobs=%d vs jobs=1: %.2fx (on %d core(s))@." par_jobs
     speedup
     (Domain.recommended_domain_count ());
-  let entry r =
+  let entry requested r =
     Printf.sprintf
-      "    { \"jobs\": %d, \"runs\": %d, \"seconds\": %.4f, \"runs_per_sec\": \
-       %.2f }"
-      r.Inject.Campaign.jobs r.Inject.Campaign.totals.Inject.Campaign.runs
+      "    { \"jobs\": %d, \"domains_used\": %d, \"runs\": %d, \"seconds\": \
+       %.4f, \"runs_per_sec\": %.2f }"
+      requested r.Inject.Campaign.jobs
+      r.Inject.Campaign.totals.Inject.Campaign.runs
       r.Inject.Campaign.wall_seconds
       (Inject.Campaign.runs_per_sec r)
   in
@@ -455,6 +474,7 @@ let campaign_smoke () =
     \  \"seconds\": %.4f,\n\
     \  \"runs_per_sec\": %.2f,\n\
     \  \"jobs\": %d,\n\
+    \  \"domains_used\": %d,\n\
     \  \"cores\": %d,\n\
     \  \"speedup_vs_jobs1\": %.2f,\n\
     \  \"identical_totals\": true,\n\
@@ -464,8 +484,9 @@ let campaign_smoke () =
     par.Inject.Campaign.wall_seconds
     (Inject.Campaign.runs_per_sec par)
     par_jobs
+    par.Inject.Campaign.jobs (* worker domains that actually ran *)
     (Domain.recommended_domain_count ())
-    speedup (entry seq) (entry par);
+    speedup (entry 1 seq) (entry par_jobs par);
   close_out oc;
   Format.printf "wrote %s@." !json_out;
   (* Campaign-level metrics snapshot (same data for both jobs values --
@@ -475,10 +496,106 @@ let campaign_smoke () =
       [
         ("benchmark", `String "campaign_smoke");
         ("runs", `Int par.Inject.Campaign.totals.Inject.Campaign.runs);
-        ("jobs", `Int par_jobs);
+        ("jobs", `Int par.Inject.Campaign.jobs);
+        ("cores", `Int (Domain.recommended_domain_count ()));
       ]
     !obs_out par.Inject.Campaign.totals.Inject.Campaign.metrics;
   Format.printf "wrote %s@." !obs_out
+
+(* ------------------------------------------------------------------ *)
+(* Scaling sweep: the same campaign at jobs=1,2,4 with per-jobs         *)
+(* throughput and per-run minor-heap allocation, written to             *)
+(* BENCH_scaling.json. Aggregates must be bit-identical across the      *)
+(* sweep; with --min-speedup S, exits 1 if any jobs>1 point falls       *)
+(* below S x the jobs=1 throughput.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  hr "Campaign scaling sweep (jobs=1,2,4)";
+  tune_gc_for_campaigns ();
+  let n = if !full then 1000 else 240 in
+  let cfg =
+    {
+      Inject.Run.default_config with
+      Inject.Run.fault = Inject.Fault.Failstop;
+      setup = Inject.Run.Three_appvm;
+      mech = Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+      hv_config = Hyper.Config.nilihype;
+    }
+  in
+  let sweep = [ 1; 2; 4 ] in
+  let results =
+    (* (requested jobs, result): the result's own [jobs] field is the
+       worker count that actually ran (capped at the core count). *)
+    List.map
+      (fun jobs ->
+        ( jobs,
+          Inject.Campaign.run
+            ~label:(Printf.sprintf "jobs=%d" jobs)
+            ~base_seed:90_000L ~jobs ~n cfg ))
+      sweep
+  in
+  let base = snd (List.hd results) in
+  let base_snap = Inject.Campaign.snapshot base.Inject.Campaign.totals in
+  List.iter
+    (fun (requested, r) ->
+      if Inject.Campaign.snapshot r.Inject.Campaign.totals <> base_snap then
+        failwith
+          (Printf.sprintf "scaling: jobs=%d aggregate differs from jobs=1"
+             requested))
+    results;
+  let base_rps = Inject.Campaign.runs_per_sec base in
+  let speedup r =
+    if base_rps > 0.0 then Inject.Campaign.runs_per_sec r /. base_rps else 1.0
+  in
+  let minor_per_run r =
+    r.Inject.Campaign.minor_words
+    /. float_of_int (max 1 r.Inject.Campaign.totals.Inject.Campaign.runs)
+  in
+  List.iter
+    (fun (requested, r) ->
+      Format.printf
+        "jobs=%d (%d domain(s)): %8.1f runs/s  speedup %5.2fx  minor \
+         words/run %10.0f@."
+        requested r.Inject.Campaign.jobs
+        (Inject.Campaign.runs_per_sec r)
+        (speedup r) (minor_per_run r))
+    results;
+  let entry (requested, r) =
+    Printf.sprintf
+      "    { \"jobs\": %d, \"domains_used\": %d, \"runs\": %d, \"seconds\": \
+       %.4f, \"runs_per_sec\": %.2f, \"speedup_vs_jobs1\": %.2f, \
+       \"minor_words_per_run\": %.0f }"
+      requested r.Inject.Campaign.jobs
+      r.Inject.Campaign.totals.Inject.Campaign.runs
+      r.Inject.Campaign.wall_seconds
+      (Inject.Campaign.runs_per_sec r)
+      (speedup r) (minor_per_run r)
+  in
+  let oc = open_out !scaling_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"scaling\",\n\
+    \  \"runs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"identical_totals\": true,\n\
+    \  \"series\": [\n%s\n  ]\n\
+     }\n"
+    n
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map entry results));
+  close_out oc;
+  Format.printf "wrote %s@." !scaling_out;
+  if !min_speedup > 0.0 then
+    List.iter
+      (fun (requested, r) ->
+        if requested > 1 && speedup r < !min_speedup then begin
+          Format.printf
+            "FAIL: jobs=%d throughput %.2fx of jobs=1, below floor %.2fx@."
+            requested (speedup r) !min_speedup;
+          exit 1
+        end)
+      results
 
 let () =
   Arg.parse
@@ -493,6 +610,12 @@ let () =
       ( "--obs-out",
         Arg.Set_string obs_out,
         " output path for the campaign_smoke metrics snapshot (nlh-obs/1)" );
+      ( "--scaling-out",
+        Arg.Set_string scaling_out,
+        " output path for the scaling sweep JSON record" );
+      ( "--min-speedup",
+        Arg.Set_float min_speedup,
+        " fail the scaling sweep if jobs>1 throughput is below this x jobs=1" );
     ]
     (fun s -> sections := s :: !sections)
     "bench/main.exe [--full] [--jobs N] [sections...]";
@@ -509,4 +632,5 @@ let () =
   if section "multivcpu" then multivcpu ();
   if section "micro" then microbench ();
   if section "campaign_smoke" then campaign_smoke ();
+  if section "scaling" then scaling ();
   Format.printf "@.done.@."

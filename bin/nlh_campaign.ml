@@ -43,7 +43,8 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~label =
           ("label", `String label);
           ("runs", `Int n);
           ("base_seed", `Int (Int64.to_int seed));
-          ("jobs", `Int jobs);
+          ("jobs", `Int result.Inject.Campaign.jobs);
+          ("cores", `Int (Domain.recommended_domain_count ()));
         ]
       !Obs_cli.metrics_file
       result.Inject.Campaign.totals.Inject.Campaign.metrics;

@@ -27,6 +27,20 @@ let create ~lines =
 
 let set_logging t on = t.logging <- on
 
+(* Full reset for machine reuse: entries back to power-on defaults AND the
+   write log / logging flag cleared, matching a freshly created IO-APIC.
+   Distinct from [reset_to_power_on], which models the hardware side of a
+   ReHype reboot and deliberately preserves the log for replay. *)
+let reset t =
+  Array.iter
+    (fun e ->
+      e.vector <- 0;
+      e.dest_cpu <- 0;
+      e.masked <- true)
+    t.entries;
+  t.write_log <- [];
+  t.logging <- false
+
 let write t ~line ~vector ~dest_cpu ~masked =
   let e = t.entries.(line) in
   e.vector <- vector;

@@ -15,11 +15,15 @@ exception Hypervisor_crash of detection
 let panic fmt = Format.kasprintf (fun s -> raise (Hypervisor_crash (Panic s))) fmt
 let hang fmt = Format.kasprintf (fun s -> raise (Hypervisor_crash (Hang s))) fmt
 
-(* Xen asserts liberally; failed assertions are panics. *)
+(* Xen asserts liberally; failed assertions are panics. The passing case
+   must not format (it is on the injection hot path), so the message is
+   only rendered when the assertion actually fails. *)
 let hv_assert cond fmt =
-  Format.kasprintf
-    (fun s -> if not cond then raise (Hypervisor_crash (Panic ("ASSERT: " ^ s))))
-    fmt
+  if cond then Format.ikfprintf ignore Format.str_formatter fmt
+  else
+    Format.kasprintf
+      (fun s -> raise (Hypervisor_crash (Panic ("ASSERT: " ^ s))))
+      fmt
 
 let detection_latency = function
   | Panic _ -> Sim.Time.us 10

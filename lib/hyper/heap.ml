@@ -40,6 +40,17 @@ let create () =
     allocs = 0;
   }
 
+(* Forget every object and restart oid numbering, as [create] would.
+   [Hashtbl.reset] (not [clear]) restores the initial capacity so the
+   reused table also iterates in the same order as a fresh one. *)
+let reset t =
+  t.next_oid <- 0;
+  Hashtbl.reset t.objs;
+  t.freelist_ok <- true;
+  t.freelist_note <- "";
+  t.bytes_live <- 0;
+  t.allocs <- 0
+
 let alloc t ?(size = 64) kind =
   if not t.freelist_ok then
     Crash.hang "heap: free-list walk never terminates (%s)" t.freelist_note;

@@ -264,9 +264,7 @@ type setup = One_appvm | Three_appvm
    Section VI-A). [vcpus_per_cpu > 1] gives each AppVM several vCPUs
    sharing its physical CPU -- the "more complex configurations, that
    include multiple vCPUs per CPU" of the paper's future work. *)
-let boot ?(mconfig = Hw.Machine.default_config) ?obs ?(vcpus_per_cpu = 1)
-    ~config ~setup clock =
-  let t = create ~mconfig ?obs ~config clock in
+let boot_target t ~setup ~vcpus_per_cpu =
   register_recurring_events t;
   arm_all_apics t;
   setup_ioapic_routing t;
@@ -314,8 +312,51 @@ let boot ?(mconfig = Hw.Machine.default_config) ?obs ?(vcpus_per_cpu = 1)
         t.percpu.(v.Domain.processor).Percpu.curr_vcpuid <- v.Domain.vid
       | Some _ -> ())
     idle.Domain.vcpus;
-  t.next_domid <- saved_next_domid;
+  t.next_domid <- saved_next_domid
+
+let boot ?(mconfig = Hw.Machine.default_config) ?obs ?(vcpus_per_cpu = 1)
+    ~config ~setup clock =
+  let t = create ~mconfig ?obs ~config clock in
+  boot_target t ~setup ~vcpus_per_cpu;
   t
+
+(* Reuse a previously booted hypervisor for a new run: rewind the clock,
+   reset every component in place to its freshly-created state (including
+   heap object-id numbering and frame-allocation order, which surface in
+   panic messages), then run the same boot sequence as [boot]. The result
+   is observationally identical to a fresh [boot] on the same machine
+   geometry -- the reset ≡ reboot determinism contract the campaign
+   engine's worker reuse relies on -- but reuses all the big tables (pfn
+   descriptors, trace ring, per-CPU areas), so it allocates almost
+   nothing. The machine geometry ([mconfig]) is fixed at [create]; only
+   the hypervisor [config] may change between runs. *)
+let reboot_in_place t ~config ~setup ~vcpus_per_cpu =
+  Sim.Clock.reset t.clock;
+  t.config <- config;
+  Hw.Machine.reset t.machine;
+  Heap.reset t.heap;
+  Spinlock.Segment.reset t.static_segment;
+  (* Ascending CPU order reproduces [create]'s heap-allocation sequence
+     (per-CPU lock object then per-CPU area, cpu 0 first). *)
+  Array.iter (Percpu.reset t.heap) t.percpu;
+  Pfn.reset t.pfn;
+  Timer_heap.reset t.timers;
+  Sched.reset t.sched;
+  Hashtbl.reset t.domains;
+  Cycle_account.reset t.cycles;
+  Obs.Recorder.reset t.obs;
+  Array.fill t.watchdog_soft 0 (Array.length t.watchdog_soft) 0;
+  Array.fill t.need_resched_flags 0 (Array.length t.need_resched_flags) false;
+  t.time_sync_count <- 0;
+  t.next_domid <- 0;
+  t.static_data_ok <- true;
+  t.static_data_note <- "";
+  t.recovery_handler_ok <- true;
+  t.bootline_ok <- true;
+  t.step_hook <- None;
+  Hw.Ioapic.set_logging t.machine.Hw.Machine.ioapic
+    config.Config.ioapic_write_logging;
+  boot_target t ~setup ~vcpus_per_cpu
 
 (* ------------------------------------------------------------------ *)
 (* The stepper: instrumented micro-step execution                      *)
@@ -348,15 +389,30 @@ let journal_log t (journal : Journal.t) entry =
     Cycle_account.charge_logging t.cycles Journal.cycles_per_write;
     Sim.Clock.advance_by t.clock (cycles_to_ns Journal.cycles_per_write);
     Obs.Metrics.incr t.obs.Obs.Recorder.journal_writes;
-    observe t Obs.Event.Debug
-      (Obs.Event.Journal_append
-         { kind = Journal.entry_kind entry; depth = Journal.depth journal + 1 })
+    if Obs.Recorder.enabled t.obs Obs.Event.Debug then
+      observe t Obs.Event.Debug
+        (Obs.Event.Journal_append
+           { kind = Journal.entry_kind entry; depth = Journal.depth journal + 1 })
   end;
   Journal.log journal entry
 
 (* ------------------------------------------------------------------ *)
 (* Hypercall handlers                                                  *)
 (* ------------------------------------------------------------------ *)
+
+(* Names for the indexed hot-path steps, computed once: formatting them
+   with sprintf on every loop iteration was a measurable share of per-run
+   allocation. The tables cover the sub-op counts the activity mix
+   actually generates; larger indices fall back to sprintf. *)
+let indexed_names prefix = Array.init 9 (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let pte_write_names = indexed_names "pte_write_"
+let grant_map_names = indexed_names "grant_map_"
+let ring_io_names = indexed_names "ring_io_"
+let grant_unmap_names = indexed_names "grant_unmap_"
+
+let indexed_name table prefix i =
+  if i < Array.length table then table.(i) else Printf.sprintf "%s%d" prefix i
 
 let pick_writable_frame t rng (dom : Domain.t) =
   let candidates =
@@ -445,10 +501,7 @@ let exec_mmu_update t (s : stepper) journal (dom : Domain.t)
         else Pfn.validate target (* panics: double validation *))
   end;
   for i = 1 to entries do
-    s.run
-      (Printf.sprintf "pte_write_%d" i)
-      ~cycles:120
-      (fun () -> ())
+    s.run (indexed_name pte_write_names "pte_write_" i) ~cycles:120 (fun () -> ())
   done;
   s.run "get_page_ref" (fun () ->
       journal_log t journal (Journal.Use_count_delta (target, 1));
@@ -557,7 +610,7 @@ let exec_grant_table_op t (s : stepper) rng journal (dom : Domain.t)
       let frame_desc =
         if e.Grant.frame >= 0 then Some (Pfn.get t.pfn e.Grant.frame) else None
       in
-      s.run (Printf.sprintf "grant_map_%d" i) (fun () ->
+      s.run (indexed_name grant_map_names "grant_map_" i) (fun () ->
           (* Retrying a completed map panics ("already mapped") unless
              the undo log reverted it. *)
           journal_log t journal
@@ -568,8 +621,8 @@ let exec_grant_table_op t (s : stepper) rng journal (dom : Domain.t)
             journal_log t journal (Journal.Use_count_delta (d, 1));
             Pfn.get_page d
           | None -> ());
-      s.run (Printf.sprintf "ring_io_%d" i) ~cycles:400 (fun () -> ());
-      s.run (Printf.sprintf "grant_unmap_%d" i) (fun () ->
+      s.run (indexed_name ring_io_names "ring_io_" i) ~cycles:400 (fun () -> ());
+      s.run (indexed_name grant_unmap_names "grant_unmap_" i) (fun () ->
           journal_log t journal
             (Journal.Undo_fn (fun () -> if e.Grant.mapped_by = -1 then e.Grant.mapped_by <- 0));
           Grant.unmap dom.Domain.grants ~slot;
@@ -734,8 +787,9 @@ let journal_of_record _t (record : Hypercalls.record) = record.Hypercalls.journa
 
 let run_timer_action t (s : stepper) cpu (e : Timer_heap.event) =
   Obs.Metrics.incr t.obs.Obs.Recorder.timer_fires;
-  observe t ~cpu Obs.Event.Debug
-    (Obs.Event.Timer_fire { action = Timer_heap.action_name e.Timer_heap.action });
+  if Obs.Recorder.enabled t.obs Obs.Event.Debug then
+    observe t ~cpu Obs.Event.Debug
+      (Obs.Event.Timer_fire { action = Timer_heap.action_name e.Timer_heap.action });
   match e.Timer_heap.action with
   | Timer_heap.Time_sync ->
     s.run "time_sync" (fun () -> t.time_sync_count <- t.time_sync_count + 1)
@@ -912,18 +966,22 @@ let do_hypercall t (s : stepper) rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
         ~logging:t.config.Config.nonidempotent_logging kind
   in
   let journal = journal_of_record t record in
-  let kind_name = Hypercalls.name kind in
   let domid = vcpu.Domain.domid and vid = vcpu.Domain.vid in
   Obs.Metrics.incr t.obs.Obs.Recorder.hypercall_entries;
+  (* [Hypercalls.name] formats, so even computing the payload's fields is
+     deferred until the event is known to pass the level filter. *)
   (match retry_of with
   | Some r ->
     Obs.Metrics.incr t.obs.Obs.Recorder.hypercall_retries;
-    observe t ~cpu ~domid Obs.Event.Info
-      (Obs.Event.Hypercall_retry
-         { domid; vid; kind = kind_name; attempt = r.Hypercalls.retries })
+    if Obs.Recorder.enabled t.obs Obs.Event.Info then
+      observe t ~cpu ~domid Obs.Event.Info
+        (Obs.Event.Hypercall_retry
+           { domid; vid; kind = Hypercalls.name kind; attempt = r.Hypercalls.retries })
   | None ->
-    observe t ~cpu ~domid Obs.Event.Debug
-      (Obs.Event.Hypercall_entry { domid; vid; kind = kind_name; retry = false }));
+    if Obs.Recorder.enabled t.obs Obs.Event.Debug then
+      observe t ~cpu ~domid Obs.Event.Debug
+        (Obs.Event.Hypercall_entry
+           { domid; vid; kind = Hypercalls.name kind; retry = false }));
   s.run "hypercall_entry" (fun () ->
       Cycle_account.note_entry t.cycles;
       percpu.Percpu.in_hypercall_depth <- percpu.Percpu.in_hypercall_depth + 1;
@@ -939,13 +997,15 @@ let do_hypercall t (s : stepper) rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
   exec_hypercall_body t s rng journal cpu vcpu record kind;
   s.run "hypercall_commit" (fun () ->
       record.Hypercalls.committed <- true;
+      let debug_on = Obs.Recorder.enabled t.obs Obs.Event.Debug in
       let entries = Journal.depth journal in
-      if entries > 0 then
+      if entries > 0 && debug_on then
         observe t ~cpu ~domid Obs.Event.Debug
           (Obs.Event.Journal_commit { entries });
       Journal.commit journal;
-      observe t ~cpu ~domid Obs.Event.Debug
-        (Obs.Event.Hypercall_commit { domid; vid; kind = kind_name }));
+      if debug_on then
+        observe t ~cpu ~domid Obs.Event.Debug
+          (Obs.Event.Hypercall_commit { domid; vid; kind = Hypercalls.name kind }));
   s.run "hypercall_exit" (fun () ->
       vcpu.Domain.in_hypercall <- None;
       vcpu.Domain.retry_pending <- false;
@@ -1023,8 +1083,9 @@ let retry_hypercall t rng (vcpu : Domain.vcpu) =
       let entries = Journal.depth journal in
       if entries > 0 then begin
         Obs.Metrics.incr ~by:entries t.obs.Obs.Recorder.journal_undone;
-        observe t ~cpu:vcpu.Domain.processor ~domid:vcpu.Domain.domid
-          Obs.Event.Info (Obs.Event.Journal_undo { entries })
+        if Obs.Recorder.enabled t.obs Obs.Event.Info then
+          observe t ~cpu:vcpu.Domain.processor ~domid:vcpu.Domain.domid
+            Obs.Event.Info (Obs.Event.Journal_undo { entries })
       end;
       Journal.undo_all journal
     end;

@@ -48,6 +48,19 @@ let create ~frames =
 let frames t = Array.length t.descs
 let get t i = t.descs.(i)
 
+(* Return every descriptor to its created state and rewind the allocation
+   cursor, so a reused table hands out frames in exactly fresh-boot order.
+   Must touch all descriptors: injected corruption can dirty any frame. *)
+let reset t =
+  Array.iter
+    (fun d ->
+      d.validated <- false;
+      d.use_count <- 0;
+      d.ptype <- Free;
+      d.owner <- -1)
+    t.descs;
+  t.free_head <- 0
+
 (* Allocate a free frame for a domain. Raises if the table is exhausted
    (campaign configurations are sized so this cannot happen in a healthy
    run). *)

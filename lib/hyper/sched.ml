@@ -16,6 +16,12 @@ type t = {
 let create ~num_cpus =
   { runq = Hashtbl.create 16; curr = Array.make num_cpus None; num_cpus }
 
+(* Empty the run queues and current records, as [create] would.
+   [Hashtbl.reset] keeps iteration order identical to a fresh table. *)
+let reset t =
+  Hashtbl.reset t.runq;
+  Array.fill t.curr 0 t.num_cpus None
+
 let enqueue t vcpu =
   vcpu.Domain.runstate <- Domain.Runnable;
   if not (List.memq vcpu (Hashtbl.find_all t.runq vcpu.Domain.processor)) then

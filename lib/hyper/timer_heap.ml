@@ -44,6 +44,15 @@ let create () =
 
 let size t = t.size
 
+(* Empty the heap and drop the recurring registry, as [create] would; the
+   backing array keeps its capacity (entries beyond [size] are never
+   read), so reuse allocates nothing. *)
+let reset t =
+  t.size <- 0;
+  t.next_id <- 0;
+  t.structure_ok <- true;
+  t.recurring <- []
+
 let swap t i j =
   let tmp = t.arr.(i) in
   t.arr.(i) <- t.arr.(j);

@@ -129,42 +129,95 @@ type result = {
   totals : totals;
   jobs : int; (* worker domains the campaign actually used *)
   wall_seconds : float; (* host wall-clock time for the whole campaign *)
+  minor_words : float;
+      (* host minor-heap words allocated across all workers, summed from
+         each worker domain's own [Gc.minor_words]. Host-side accounting
+         only: deliberately NOT part of [totals], which stay bit-identical
+         across hosts and [jobs] values. *)
 }
 
 let runs_per_sec r =
   if r.wall_seconds > 0.0 then float_of_int r.totals.runs /. r.wall_seconds
   else 0.0
 
+(* Per-worker accumulator: the totals plus the worker's long-lived
+   machine (booted lazily in the worker's own domain and reset in place
+   between runs) and that domain's allocation accounting. *)
+type acc = {
+  acc_totals : totals;
+  mutable acc_worker : Run.worker option;
+  acc_minor_start : float;
+  mutable acc_minor_words : float; (* set by the in-domain finish hook *)
+}
+
 (* Run [n] injections of [cfg], varying only the seed. [jobs > 1]
    distributes the seed range over that many domains through
    {!Pool.map_reduce}; the default stays sequential so existing callers
-   and tests behave exactly as before. The result totals are identical
-   for every [jobs] value. *)
-let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk ~n
-    (cfg : Run.config) =
+   and tests behave exactly as before. Each worker reuses one machine
+   across its runs ({!Run.prepare} / {!Run.execute_into}), which keeps
+   per-run allocation -- and hence pressure on the shared stop-the-world
+   minor GC -- low enough for parallel runs to actually scale. Worker
+   domains are additionally capped at the host's core count unless
+   [oversubscribe] is set (see {!Pool.map_reduce}). The result totals
+   are identical for every [jobs] value either way. *)
+let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
+    ?(oversubscribe = false) ~n (cfg : Run.config) =
   let t0 = Unix.gettimeofday () in
-  let run_one totals i =
-    let seed = Int64.add base_seed (Int64.of_int i) in
-    (* A tiny per-run recorder: the campaign keeps only the metrics, so
-       the event ring is minimal; metrics collection is unconditional. *)
-    let recorder = Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error () in
-    add_outcome totals (Run.run_obs ~recorder { cfg with Run.seed });
-    totals.metrics <-
-      Obs.Metrics.merge_snapshots totals.metrics
-        (Obs.Recorder.metrics_snapshot recorder)
+  let init () =
+    {
+      acc_totals = make_totals ();
+      acc_worker = None;
+      acc_minor_start = Gc.minor_words ();
+      acc_minor_words = 0.0;
+    }
   in
-  let totals =
-    Pool.map_reduce ~jobs ?chunk ~n ~init:make_totals ~body:run_one
+  let run_one acc i =
+    let seed = Int64.add base_seed (Int64.of_int i) in
+    let cfg = { cfg with Run.seed } in
+    let w =
+      match acc.acc_worker with
+      | Some w -> w
+      | None ->
+        (* A tiny per-worker recorder: the campaign keeps only the
+           metrics, so the event ring is minimal; metrics collection is
+           unconditional. Reset between runs by [execute_into]. *)
+        let recorder =
+          Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
+        in
+        let w = Run.prepare ~recorder cfg in
+        acc.acc_worker <- Some w;
+        w
+    in
+    add_outcome acc.acc_totals (Run.execute_into w cfg);
+    acc.acc_totals.metrics <-
+      Obs.Metrics.merge_snapshots acc.acc_totals.metrics
+        (Obs.Recorder.metrics_snapshot (Run.worker_recorder w))
+  in
+  let acc =
+    Pool.map_reduce ~jobs ?chunk ~oversubscribe ~n ~init ~body:run_one
+      ~finish:(fun acc ->
+        (* [Gc.minor_words] is per-domain in OCaml 5, so the delta must be
+           taken here, in the worker's own domain. *)
+        acc.acc_minor_words <- Gc.minor_words () -. acc.acc_minor_start)
       ~merge:(fun a b ->
-        merge_into a b;
+        merge_into a.acc_totals b.acc_totals;
+        a.acc_minor_words <- a.acc_minor_words +. b.acc_minor_words;
         a)
       ()
   in
+  let used_jobs =
+    (* Mirror the pool's clamps so the report shows the worker count
+       that actually ran: bounded by [n] and, unless oversubscribing,
+       by the core count. *)
+    let j = max 1 (min jobs (max 1 n)) in
+    if oversubscribe then j else min j (Pool.default_jobs ())
+  in
   {
     config_label = label;
-    totals;
-    jobs = max 1 (min jobs (max 1 n));
+    totals = acc.acc_totals;
+    jobs = used_jobs;
     wall_seconds = Unix.gettimeofday () -. t0;
+    minor_words = acc.acc_minor_words;
   }
 
 let success_rate r =
@@ -193,5 +246,6 @@ let pp fmt r =
     r.config_label r.totals.runs nm sdc det Sim.Stats.pp_proportion
     (success_rate r) Sim.Stats.pp_proportion (no_vmf_rate r);
   if r.wall_seconds > 0.0 then
-    Format.fprintf fmt "%s: wall %.2fs, %.1f runs/s (jobs=%d)@." r.config_label
-      r.wall_seconds (runs_per_sec r) r.jobs
+    Format.fprintf fmt "%s: wall %.2fs, %.1f runs/s (jobs=%d, cores=%d)@."
+      r.config_label r.wall_seconds (runs_per_sec r) r.jobs
+      (Domain.recommended_domain_count ())

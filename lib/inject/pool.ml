@@ -16,27 +16,51 @@
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-(* Chunked self-scheduling: big enough to keep cursor contention
-   negligible, small enough that the tail imbalance is a few runs. *)
-let default_chunk ~n ~jobs = max 1 (min 16 (n / (jobs * 4)))
+(* Chunked self-scheduling: aim for ~4 chunks per worker, so cursor
+   contention stays negligible while the tail imbalance is bounded by a
+   quarter of a worker's share. No upper cap: large [n] simply gets
+   proportionally larger chunks. *)
+let default_chunk ~n ~jobs = max 1 (n / (jobs * 4))
 
 (* [map_reduce ~jobs ~chunk ~n ~init ~body ~merge] folds [body acc i]
    for every [i] in [0, n) into worker-local accumulators created by
    [init], then combines them with [merge]. [jobs] defaults to
    [default_jobs ()]; [jobs <= 1] (or [n <= 1]) degrades to a plain
-   sequential loop with no domain spawned at all. *)
-let map_reduce ?jobs ?chunk ~n ~(init : unit -> 'acc)
+   sequential loop with no domain spawned at all. [finish], if given,
+   runs on each accumulator in its own worker domain after that worker's
+   last index -- the place to capture domain-local state (e.g.
+   [Gc.minor_words], which is per-domain in OCaml 5) before the
+   accumulator crosses to the caller for merging.
+
+   The pool never runs more domains than the host has cores (unless
+   [oversubscribe] is set): each domain's minor collection is a
+   stop-the-world rendezvous of every domain, and when runnable domains
+   outnumber cores that rendezvous waits on the OS scheduler --
+   allocating work measures ~20x slower at 4 domains on 1 core. Capping
+   at the core count costs nothing (the extra domains had no core to run
+   on) and cannot change results: the accumulator is identical for every
+   worker count. [oversubscribe] exists so tests can force the
+   real multi-domain path on any host. *)
+let map_reduce ?jobs ?chunk ?(oversubscribe = false)
+    ?(finish : ('acc -> unit) option) ~n ~(init : unit -> 'acc)
     ~(body : 'acc -> int -> unit) ~(merge : 'acc -> 'acc -> 'acc) () : 'acc =
   let jobs =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
   in
   let jobs = min jobs (max 1 n) in
-  if n <= 0 then init ()
+  let jobs = if oversubscribe then jobs else min jobs (default_jobs ()) in
+  let finish = match finish with Some f -> f | None -> fun _ -> () in
+  if n <= 0 then begin
+    let acc = init () in
+    finish acc;
+    acc
+  end
   else if jobs = 1 then begin
     let acc = init () in
     for i = 0 to n - 1 do
       body acc i
     done;
+    finish acc;
     acc
   end
   else begin
@@ -59,6 +83,7 @@ let map_reduce ?jobs ?chunk ~n ~(init : unit -> 'acc)
         end
       in
       loop ();
+      finish acc;
       acc
     in
     (* jobs - 1 spawned domains; the calling domain is the last worker. *)

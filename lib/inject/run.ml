@@ -93,19 +93,15 @@ type state = {
   mutable fault_applied : bool;
 }
 
-let boot_state ?recorder cfg =
-  let rng = Sim.Rng.create cfg.seed in
-  let clock = Sim.Clock.create () in
-  let hv_setup =
-    match cfg.setup with
-    | One_appvm _ -> Hypervisor.One_appvm
-    | Three_appvm -> Hypervisor.Three_appvm
-  in
-  let hv =
-    Hypervisor.boot ~mconfig:cfg.mconfig ?obs:recorder
-      ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config ~setup:hv_setup
-      clock
-  in
+let hv_setup_of cfg =
+  match cfg.setup with
+  | One_appvm _ -> Hypervisor.One_appvm
+  | Three_appvm -> Hypervisor.Three_appvm
+
+(* Build the per-run state around an already-booted hypervisor. Shared by
+   the fresh-boot path and the worker-reuse path, so both runs see the
+   same benchmarks/mix construction. *)
+let make_state cfg rng (hv : Hypervisor.t) =
   let vcpus = cfg.vcpus_per_cpu in
   let benchmarks =
     match cfg.setup with
@@ -138,6 +134,16 @@ let boot_state ?recorder cfg =
     Workloads.System_mix.create ~benchmarks ~active_cpus ~blk_dom ~net_dom
   in
   { cfg; rng; hv; mix; benchmarks; last_cpu = 0; fault_applied = false }
+
+let boot_state ?recorder cfg =
+  let rng = Sim.Rng.create cfg.seed in
+  let clock = Sim.Clock.create () in
+  let hv =
+    Hypervisor.boot ~mconfig:cfg.mconfig ?obs:recorder
+      ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config
+      ~setup:(hv_setup_of cfg) clock
+  in
+  make_state cfg rng hv
 
 (* Execute one sampled activity. Timer ticks fire when the APIC deadline
    arrives, so the clock jumps there first; a CPU whose APIC is disarmed
@@ -384,11 +390,10 @@ let post_recovery_phase st =
      fail ("post-recovery crash: " ^ Crash.describe d));
   (!hv_ok, !new_vm_ok, !reason)
 
-(* Execute one complete fault-injection run. [recorder] (optional) is the
-   observability recorder the run's hypervisor reports into; callers that
-   want the trace/spans/metrics of the run pass one and inspect it after. *)
-let run_obs ?recorder (cfg : config) : outcome =
-  let st = boot_state ?recorder cfg in
+(* The run proper, over an already-booted (fresh or reset-in-place)
+   machine: warm up, arm the trigger, run to detection, recover, classify. *)
+let run_prepared st : outcome =
+  let cfg = st.cfg in
   let obs = st.hv.Hypervisor.obs in
   install_cpu_tracker st;
   (* Warm-up: the first-level trigger fires well after benchmark start. *)
@@ -498,20 +503,85 @@ let run_obs ?recorder (cfg : config) : outcome =
         })
   in
   (* Classify: one counter per outcome class, the latency histogram for
-     completed recoveries, and a terminal event closing the timeline. *)
+     completed recoveries, and a terminal event closing the timeline. The
+     instruments are the recorder's cached fields -- no name lookup. *)
   let now = Sim.Clock.now st.hv.Hypervisor.clock in
-  let name = outcome_name out in
-  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.Recorder.metrics ("outcome." ^ name));
   (match out with
-  | Detected d when d.recovery_latency > 0 ->
-    Obs.Metrics.observe obs.Obs.Recorder.recovery_latency_ms
-      (d.recovery_latency / 1_000_000)
-  | Detected _ | Non_manifested | Silent_corruption -> ());
-  Obs.Metrics.set
-    (Obs.Metrics.gauge obs.Obs.Recorder.metrics "run.end_time_ns")
-    now;
+  | Non_manifested -> Obs.Metrics.incr obs.Obs.Recorder.outcome_non_manifested
+  | Silent_corruption -> Obs.Metrics.incr obs.Obs.Recorder.outcome_sdc
+  | Detected d ->
+    Obs.Metrics.incr obs.Obs.Recorder.outcome_detected;
+    if d.recovery_latency > 0 then
+      Obs.Metrics.observe obs.Obs.Recorder.recovery_latency_ms
+        (d.recovery_latency / 1_000_000));
+  Obs.Metrics.set obs.Obs.Recorder.run_end_time_ns now;
   Obs.Recorder.event obs ~time:now Obs.Event.Info
-    (Obs.Event.Outcome_classified { name });
+    (Obs.Event.Outcome_classified { name = outcome_name out });
   out
 
+(* Execute one complete fault-injection run on a freshly booted machine.
+   [recorder] (optional) is the observability recorder the run's
+   hypervisor reports into; callers that want the trace/spans/metrics of
+   the run pass one and inspect it after. *)
+let run_obs ?recorder (cfg : config) : outcome =
+  run_prepared (boot_state ?recorder cfg)
+
 let run (cfg : config) : outcome = run_obs cfg
+
+(* ------------------------------------------------------------------ *)
+(* Worker reuse: one long-lived machine, reset in place between runs    *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker owns one machine plus the per-run scratch (RNG, recorder)
+   and reuses them across runs: [execute_into] rewinds everything via
+   [Hypervisor.reboot_in_place] instead of reconstructing it, cutting
+   per-run allocation by an order of magnitude -- which is what lets
+   parallel campaigns scale instead of serialising on the OCaml 5
+   stop-the-world minor GC. The contract (enforced by tests): a run
+   through [execute_into] is observationally identical to [run_obs] on a
+   fresh machine with the same config -- outcomes, stats and metric
+   snapshots all match bit for bit. *)
+type worker = {
+  w_recorder : Obs.Recorder.t option;
+  w_rng : Sim.Rng.t;
+  mutable w_mconfig : Hw.Machine.config; (* geometry the machine was built with *)
+  mutable w_hv : Hypervisor.t;
+}
+
+let prepare ?recorder (cfg : config) =
+  let clock = Sim.Clock.create () in
+  let hv =
+    Hypervisor.boot ~mconfig:cfg.mconfig ?obs:recorder
+      ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config
+      ~setup:(hv_setup_of cfg) clock
+  in
+  {
+    w_recorder = recorder;
+    w_rng = Sim.Rng.create cfg.seed;
+    w_mconfig = cfg.mconfig;
+    w_hv = hv;
+  }
+
+(* The recorder the worker's next run will report into: inspect or export
+   it after [execute_into] returns. *)
+let worker_recorder w = w.w_hv.Hypervisor.obs
+
+let execute_into w (cfg : config) : outcome =
+  Sim.Rng.reseed w.w_rng cfg.seed;
+  if cfg.mconfig <> w.w_mconfig then begin
+    (* The machine geometry changed: the tables cannot be reused. Boot a
+       replacement machine; subsequent runs reuse it. *)
+    (match w.w_recorder with
+    | Some r -> Obs.Recorder.reset r
+    | None -> ());
+    let clock = Sim.Clock.create () in
+    w.w_hv <-
+      Hypervisor.boot ~mconfig:cfg.mconfig ?obs:w.w_recorder
+        ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config
+        ~setup:(hv_setup_of cfg) clock;
+    w.w_mconfig <- cfg.mconfig
+  end
+  else
+    Hypervisor.reboot_in_place w.w_hv ~config:cfg.hv_config
+      ~setup:(hv_setup_of cfg) ~vcpus_per_cpu:cfg.vcpus_per_cpu;
+  run_prepared (make_state cfg w.w_rng w.w_hv)

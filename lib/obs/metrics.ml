@@ -101,6 +101,21 @@ let observe h v =
   h.sum <- h.sum + v;
   h.samples <- h.samples + 1
 
+(* Zero every registered instrument in place. Cached instrument handles
+   stay valid and the registry keeps its structure, so a reset registry
+   snapshots identically to a fresh one with the same registrations. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ instr ->
+      match instr with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0
+      | Histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.sum <- 0;
+        h.samples <- 0)
+    t.table
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -22,6 +22,14 @@ type t = {
   faults_injected : Metrics.counter;
   detections : Metrics.counter;
   recovery_latency_ms : Metrics.histogram;
+  (* Outcome classification instruments. Registered eagerly so a reused
+     recorder's registry is structurally identical to a fresh per-run one
+     (lazily registering them on first use would make snapshots differ
+     between runs that hit different outcome classes). *)
+  outcome_non_manifested : Metrics.counter;
+  outcome_sdc : Metrics.counter;
+  outcome_detected : Metrics.counter;
+  run_end_time_ns : Metrics.gauge;
 }
 
 (* Fixed recovery-latency buckets in milliseconds: NiLiHype lands in the
@@ -45,6 +53,10 @@ let create ?(capacity = 4096) ?(min_level = Event.Info) () =
     detections = Metrics.counter metrics "detect.detections";
     recovery_latency_ms =
       Metrics.histogram metrics "recovery.latency_ms" ~bounds:latency_bounds_ms;
+    outcome_non_manifested = Metrics.counter metrics "outcome.non_manifested";
+    outcome_sdc = Metrics.counter metrics "outcome.sdc";
+    outcome_detected = Metrics.counter metrics "outcome.detected";
+    run_end_time_ns = Metrics.gauge metrics "run.end_time_ns";
   }
 
 let set_min_level t level = Trace.set_min_level t.trace level
@@ -52,6 +64,17 @@ let set_min_level t level = Trace.set_min_level t.trace level
 let clear t =
   Trace.clear t.trace;
   Span.clear t.spans
+
+(* Whether an event at [level] would be recorded: lets hot call sites
+   skip constructing the payload when it would only be filtered out. *)
+let enabled t level = Trace.enabled t.trace level
+
+(* Full per-run reset for worker reuse: drop trace/span contents and zero
+   every metric, leaving the recorder exactly as freshly created (cached
+   instrument handles stay valid). *)
+let reset t =
+  clear t;
+  Metrics.reset t.metrics
 
 (* Record a typed event. [domid = -1] when no domain is attributable. *)
 let event t ~time ?(cpu = -1) ?(domid = -1) level payload =

@@ -49,6 +49,10 @@ let clear t =
   t.dropped <- 0;
   Array.fill t.entries 0 t.capacity dummy
 
+(* Pre-check for call sites whose event payload itself allocates: lets
+   them skip building the record entirely when it would be filtered. *)
+let enabled t level = Event.level_rank level >= Event.level_rank t.min_level
+
 (* Hot path: one integer compare when the event is filtered out. *)
 let record t (e : Event.t) =
   if Event.level_rank e.Event.level >= Event.level_rank t.min_level then begin

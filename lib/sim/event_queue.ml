@@ -24,6 +24,12 @@ let create () = { heap = [||]; size = 0; next_seq = 0; dummy = ref None }
 let length t = t.size
 let is_empty t = t.size = 0
 
+(* Drop every entry (cancelled or not) but keep the backing array, so a
+   reused queue behaves exactly like a fresh one without reallocating. *)
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
 let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let swap t i j =

@@ -5,6 +5,10 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 let create seed = { state = seed }
 let copy t = { state = t.state }
 
+(* Rewind an existing generator to a new seed: [reseed t s] makes [t]
+   produce exactly the stream of [create s] without allocating. *)
+let reseed t seed = t.state <- seed
+
 (* splitmix64 step: advance state by the golden gamma and mix. *)
 let next_state t =
   t.state <- Int64.add t.state golden_gamma;

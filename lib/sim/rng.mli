@@ -12,6 +12,11 @@ val create : int64 -> t
 val copy : t -> t
 (** Independent copy sharing the current position. *)
 
+val reseed : t -> int64 -> unit
+(** [reseed t seed] rewinds [t] to the start of [seed]'s stream, exactly
+    as if it had been created with [create seed]. Lets long-lived
+    workers reuse one generator across runs without allocating. *)
+
 val split : t -> t
 (** Derive a statistically independent child generator, advancing the
     parent by one step. Used to give each subsystem its own stream. *)

@@ -215,7 +215,9 @@ let snapshot_t =
 let test_campaign_parallel_deterministic () =
   let cfg = run_cfg ~fault:Inject.Fault.Register () in
   let seq = Inject.Campaign.run ~base_seed:500L ~jobs:1 ~n:100 cfg in
-  let par = Inject.Campaign.run ~base_seed:500L ~jobs:4 ~n:100 cfg in
+  let par =
+    Inject.Campaign.run ~base_seed:500L ~jobs:4 ~oversubscribe:true ~n:100 cfg
+  in
   Alcotest.check snapshot_t "jobs=1 and jobs=4 identical"
     (Inject.Campaign.snapshot seq.Inject.Campaign.totals)
     (Inject.Campaign.snapshot par.Inject.Campaign.totals);
@@ -227,7 +229,10 @@ let test_campaign_odd_chunking_deterministic () =
      chunks' worth of tail, still yields the same aggregate. *)
   let cfg = run_cfg ~fault:Inject.Fault.Failstop () in
   let seq = Inject.Campaign.run ~base_seed:900L ~jobs:1 ~n:23 cfg in
-  let par = Inject.Campaign.run ~base_seed:900L ~jobs:3 ~chunk:5 ~n:23 cfg in
+  let par =
+    Inject.Campaign.run ~base_seed:900L ~jobs:3 ~chunk:5 ~oversubscribe:true
+      ~n:23 cfg
+  in
   Alcotest.check snapshot_t "jobs=3 chunk=5 identical"
     (Inject.Campaign.snapshot seq.Inject.Campaign.totals)
     (Inject.Campaign.snapshot par.Inject.Campaign.totals)
@@ -286,12 +291,164 @@ let test_mean_latency_not_floored () =
       totals = t;
       jobs = 1;
       wall_seconds = 0.0;
+      minor_words = 0.0;
     }
   in
   match Inject.Campaign.mean_latency r with
   | Some m ->
     Alcotest.check (Alcotest.float 1e-9) "5/2 = 2.5, not 2" 2.5 m
   | None -> Alcotest.fail "expected a mean"
+
+(* ------------------------- Worker reuse ----------------------------- *)
+
+let metrics_snapshot_t =
+  Alcotest.testable Obs.Metrics.pp_snapshot
+    (fun (a : Obs.Metrics.snapshot) b -> a = b)
+
+let small_recorder () =
+  Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
+
+(* The reset-in-place determinism contract: a run on a worker machine
+   that has already executed other runs (and been reset between them) is
+   indistinguishable from a run on a freshly booted machine -- same
+   outcome, same stats, same metric snapshot. Matrix over fault types,
+   targets (setups x mechanisms) and seeds. *)
+let test_reset_equivalence_matrix () =
+  let faults =
+    [ Inject.Fault.Failstop; Inject.Fault.Register; Inject.Fault.Code ]
+  in
+  let targets =
+    [
+      (Inject.Run.Three_appvm, Recovery.Engine.Nilihype);
+      (Inject.Run.Three_appvm, Recovery.Engine.Rehype);
+      (Inject.Run.One_appvm Workloads.Workload.Blkbench, Recovery.Engine.Nilihype);
+    ]
+  in
+  let seeds = [ 7L; 43L; 1001L ] in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun (setup, mechanism) ->
+          let mech = Inject.Run.Mech (mechanism, Recovery.Enhancement.full_set) in
+          (* One long-lived worker per target; dirty it first with a run
+             on an unrelated seed so every matrix run below goes through
+             the reset path of a genuinely used machine. *)
+          let wcfg =
+            { (run_cfg ~fault ~seed:999_999L ~mech:(Some mech) ()) with
+              Inject.Run.setup;
+            }
+          in
+          let w = Inject.Run.prepare ~recorder:(small_recorder ()) wcfg in
+          ignore (Inject.Run.execute_into w wcfg);
+          List.iter
+            (fun seed ->
+              let cfg =
+                { (run_cfg ~fault ~seed ~mech:(Some mech) ()) with
+                  Inject.Run.setup;
+                }
+              in
+              let fresh_rec = small_recorder () in
+              let fresh = Inject.Run.run_obs ~recorder:fresh_rec cfg in
+              let reused = Inject.Run.execute_into w cfg in
+              let label =
+                Printf.sprintf "%s/%s/seed=%Ld" (Inject.Fault.name fault)
+                  (Recovery.Engine.mechanism_name mechanism)
+                  seed
+              in
+              checkb (label ^ " outcome identical") true (fresh = reused);
+              Alcotest.check metrics_snapshot_t (label ^ " metrics identical")
+                (Obs.Recorder.metrics_snapshot fresh_rec)
+                (Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w)))
+            seeds)
+        targets)
+    faults
+
+(* Recorded GC budget: minor words allocated per reset-in-place run,
+   after warmup, on the register-fault campaign configuration. Measured
+   at ~330k words/run when the reuse path landed; the test fails at >2x
+   drift so regressions that re-grow the hot path get caught without
+   being flaky across compiler versions. *)
+let gc_minor_words_budget_per_run = 340_000.0
+
+let test_gc_budget_per_run () =
+  let cfg = run_cfg ~fault:Inject.Fault.Register () in
+  let w = Inject.Run.prepare ~recorder:(small_recorder ()) cfg in
+  for i = 0 to 4 do
+    ignore
+      (Inject.Run.execute_into w
+         { cfg with Inject.Run.seed = Int64.of_int (3_000 + i) })
+  done;
+  let before = Gc.minor_words () in
+  let n = 20 in
+  for i = 0 to n - 1 do
+    ignore
+      (Inject.Run.execute_into w
+         { cfg with Inject.Run.seed = Int64.of_int (4_000 + i) })
+  done;
+  let per_run = (Gc.minor_words () -. before) /. float_of_int n in
+  checkb "allocates something" true (per_run > 0.0);
+  if per_run > 2.0 *. gc_minor_words_budget_per_run then
+    Alcotest.failf "minor words/run %.0f exceeds 2x budget %.0f" per_run
+      gc_minor_words_budget_per_run
+
+let test_campaign_minor_words_recorded () =
+  let seq = Inject.Campaign.run ~jobs:1 ~n:4 (run_cfg ()) in
+  checkb "sequential minor words measured" true
+    (seq.Inject.Campaign.minor_words > 0.0);
+  let par =
+    Inject.Campaign.run ~jobs:2 ~oversubscribe:true ~n:4 (run_cfg ())
+  in
+  checkb "parallel minor words measured" true
+    (par.Inject.Campaign.minor_words > 0.0)
+
+(* ------------------------- Pool chunking ---------------------------- *)
+
+(* Every index in [0, n) visited exactly once, for adversarial
+   n/jobs/chunk combinations: chunk > n, chunk = 1, prime n, tails that
+   do not divide, n = 1, n = 0 and the default (uncapped) chunk. *)
+let test_pool_coverage_exact () =
+  let combos =
+    [
+      (0, 1, None);
+      (0, 4, Some 3);
+      (1, 4, Some 3);
+      (23, 3, Some 5);
+      (97, 4, Some 1);
+      (100, 7, Some 13);
+      (16, 5, Some 16);
+      (5, 8, Some 100);
+      (241, 3, None);
+      (1024, 4, None);
+    ]
+  in
+  List.iter
+    (fun (n, jobs, chunk) ->
+      let acc =
+        Inject.Pool.map_reduce ~jobs ?chunk ~oversubscribe:true ~n
+          ~init:(fun () -> ref [])
+          ~body:(fun acc i -> acc := i :: !acc)
+          ~merge:(fun a b ->
+            a := !a @ !b;
+            a)
+          ()
+      in
+      let label =
+        Printf.sprintf "n=%d jobs=%d chunk=%s" n jobs
+          (match chunk with Some c -> string_of_int c | None -> "default")
+      in
+      Alcotest.(check (list int))
+        label
+        (List.init n Fun.id)
+        (List.sort compare !acc))
+    combos
+
+let test_pool_default_chunk_uncapped () =
+  (* ~4 chunks per worker, never capped: large n gets large chunks. *)
+  checki "n=64 jobs=1" 16 (Inject.Pool.default_chunk ~n:64 ~jobs:1);
+  checki "n=4000 jobs=4" 250 (Inject.Pool.default_chunk ~n:4000 ~jobs:4);
+  checki "n=100000 jobs=4 uncapped" 6250
+    (Inject.Pool.default_chunk ~n:100_000 ~jobs:4);
+  checki "floor of 1" 1 (Inject.Pool.default_chunk ~n:3 ~jobs:8)
 
 (* ------------------------- Overhead --------------------------------- *)
 
@@ -366,6 +523,17 @@ let () =
             test_merge_overlapping_notes;
           Alcotest.test_case "notes sorted" `Quick test_notes_sorted_regardless_of_order;
           Alcotest.test_case "mean latency in float" `Quick test_mean_latency_not_floored;
+          Alcotest.test_case "pool coverage exact" `Quick test_pool_coverage_exact;
+          Alcotest.test_case "default chunk uncapped" `Quick
+            test_pool_default_chunk_uncapped;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "reset equivalence matrix" `Slow
+            test_reset_equivalence_matrix;
+          Alcotest.test_case "gc budget per run" `Quick test_gc_budget_per_run;
+          Alcotest.test_case "campaign minor words" `Quick
+            test_campaign_minor_words_recorded;
         ] );
       ( "overhead",
         [

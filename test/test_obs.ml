@@ -140,7 +140,9 @@ let run_cfg ?(fault = Inject.Fault.Register) ~seed () =
 let test_campaign_metrics_parallel_identical () =
   let cfg = run_cfg ~seed:0L () in
   let seq = Inject.Campaign.run ~base_seed:42L ~jobs:1 ~n:40 cfg in
-  let par = Inject.Campaign.run ~base_seed:42L ~jobs:4 ~n:40 cfg in
+  let par =
+    Inject.Campaign.run ~base_seed:42L ~jobs:4 ~oversubscribe:true ~n:40 cfg
+  in
   let sm (r : Inject.Campaign.result) =
     (Inject.Campaign.snapshot r.Inject.Campaign.totals).Inject.Campaign.s_metrics
   in
