@@ -14,13 +14,15 @@ let jobs = ref 1 (* 0 = one worker domain per recommended core *)
 let json_out = ref "BENCH_campaign.json"
 let obs_out = ref "OBS_campaign.json"
 let scaling_out = ref "BENCH_scaling.json"
+let endurance_out = ref "BENCH_endurance.json"
+let leak_budget = ref 8 (* max leaked pages per recovery in the smoke *)
 let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
 
 let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 
 (* campaign_smoke and scaling are perf-tracking targets, not part of the
    paper reproduction, so they only run when named explicitly. *)
-let perf_sections = [ "campaign_smoke"; "scaling" ]
+let perf_sections = [ "campaign_smoke"; "scaling"; "endurance" ]
 
 let section name =
   if List.mem name perf_sections then List.mem name !sections
@@ -597,6 +599,68 @@ let scaling () =
         end)
       results
 
+(* ------------------------------------------------------------------ *)
+(* Endurance smoke: successive recoveries on ONE instance, with the     *)
+(* resource-leak ledger enforcing the paper's "few pages per recovery"  *)
+(* claim and the jobs=1 vs jobs=N aggregates asserted bit-identical.    *)
+(* Written to BENCH_endurance.json.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let endurance () =
+  hr "Endurance smoke: successive failures on one hypervisor instance";
+  tune_gc_for_campaigns ();
+  let cycles = if !full then 50 else 12 in
+  let scenarios = if !full then 20 else 6 in
+  let cfg =
+    {
+      Endure.run_cfg =
+        {
+          Inject.Run.default_config with
+          Inject.Run.fault = Inject.Fault.Failstop;
+          setup = Inject.Run.Three_appvm;
+          mech =
+            Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+          hv_config = Hyper.Config.nilihype;
+        };
+      cycles;
+      settle_activities = 120;
+      leak_budget_pages = Some !leak_budget;
+    }
+  in
+  let measure jobs =
+    Endure.run
+      ~label:(Printf.sprintf "jobs=%d" jobs)
+      ~base_seed:96_000L ~jobs ~scenarios cfg
+  in
+  let par_jobs =
+    let j = resolve_jobs () in
+    if j > 1 then j else 4
+  in
+  let seq = measure 1 in
+  let par = measure par_jobs in
+  (* Determinism: the same seeds must yield the same survival curve, leak
+     totals and metric snapshot whatever the worker count. *)
+  if Endure.snapshot seq.Endure.totals <> Endure.snapshot par.Endure.totals then
+    failwith "endurance: parallel aggregate differs from sequential";
+  Format.printf "%a" Endure.pp par;
+  (* Leak ceiling: no recovery may leak more than the budget. *)
+  if par.Endure.totals.Endure.budget_violations > 0 then
+    failwith
+      (Printf.sprintf
+         "endurance: %d recovery cycle(s) exceeded the %d-page leak budget"
+         par.Endure.totals.Endure.budget_violations !leak_budget);
+  let oc = open_out !endurance_out in
+  Endure.write_json oc
+    ~meta:
+      [
+        ("benchmark", `String "endurance");
+        ("base_seed", `Int 96_000);
+        ("identical_totals", `Bool true);
+      ]
+    par;
+  close_out oc;
+  Format.printf "wrote %s@." !endurance_out
+
 let () =
   Arg.parse
     [
@@ -616,6 +680,12 @@ let () =
       ( "--min-speedup",
         Arg.Set_float min_speedup,
         " fail the scaling sweep if jobs>1 throughput is below this x jobs=1" );
+      ( "--endurance-out",
+        Arg.Set_string endurance_out,
+        " output path for the endurance smoke JSON record (nlh-endurance/1)" );
+      ( "--leak-budget",
+        Arg.Set_int leak_budget,
+        " max leaked pages per recovery tolerated by the endurance smoke" );
     ]
     (fun s -> sections := s :: !sections)
     "bench/main.exe [--full] [--jobs N] [sections...]";
@@ -633,4 +703,5 @@ let () =
   if section "micro" then microbench ();
   if section "campaign_smoke" then campaign_smoke ();
   if section "scaling" then scaling ();
+  if section "endurance" then endurance ();
   Format.printf "@.done.@."

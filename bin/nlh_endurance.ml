@@ -1,0 +1,133 @@
+(* Endurance CLI: keep one hypervisor instance alive through successive
+   inject -> detect -> recover cycles and account for resource leaks.
+   Exits non-zero when any recovery leaks more pages than the budget. *)
+
+let resolve_jobs jobs = if jobs > 0 then jobs else Inject.Pool.default_jobs ()
+
+let () =
+  let mech = ref `Nilihype in
+  let fault = ref Inject.Fault.Failstop in
+  let cycles = ref 50 in
+  let scenarios = ref 10 in
+  let settle = ref Endure.default_config.Endure.settle_activities in
+  let seed = ref 77_000 in
+  let jobs = ref 1 in
+  let budget = ref 8 in
+  let json_out = ref "BENCH_endurance.json" in
+  let spec =
+    [
+      ( "--mech",
+        Arg.Symbol
+          ( [ "nilihype"; "rehype" ],
+            function "nilihype" -> mech := `Nilihype | _ -> mech := `Rehype ),
+        " recovery mechanism" );
+      ( "--fault",
+        Arg.Symbol
+          ( [ "failstop"; "register"; "code" ],
+            function
+            | "failstop" -> fault := Inject.Fault.Failstop
+            | "register" -> fault := Inject.Fault.Register
+            | _ -> fault := Inject.Fault.Code ),
+        " fault type" );
+      ("--cycles", Arg.Set_int cycles, " recovery cycles per scenario");
+      ("--scenarios", Arg.Set_int scenarios, " independent scenarios (seeds)");
+      ( "--settle",
+        Arg.Set_int settle,
+        " post-recovery activities before each ledger snapshot" );
+      ("--seed", Arg.Set_int seed, " base seed");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        " parallel worker domains (0 = one per core; default 1)" );
+      ( "--leak-budget",
+        Arg.Set_int budget,
+        " max leaked pages per recovery (-1 = unlimited; default 8)" );
+      ( "--json-out",
+        Arg.Set_string json_out,
+        " endurance report path (empty = no report; default \
+         BENCH_endurance.json)" );
+    ]
+    @ Obs_cli.arg_specs
+  in
+  Arg.parse spec (fun _ -> ()) "nlh_endurance [options]";
+  let mech_name, hv_config =
+    match !mech with
+    | `Nilihype -> ("NiLiHype", Hyper.Config.nilihype)
+    | `Rehype -> ("ReHype", Hyper.Config.rehype)
+  in
+  let mechanism =
+    match !mech with
+    | `Nilihype -> Recovery.Engine.Nilihype
+    | `Rehype -> Recovery.Engine.Rehype
+  in
+  let cfg =
+    {
+      Endure.run_cfg =
+        {
+          Inject.Run.default_config with
+          Inject.Run.fault = !fault;
+          mech = Inject.Run.Mech (mechanism, Recovery.Enhancement.full_set);
+          hv_config;
+        };
+      cycles = !cycles;
+      settle_activities = !settle;
+      leak_budget_pages = (if !budget < 0 then None else Some !budget);
+    }
+  in
+  let label = Printf.sprintf "%s/%s" mech_name (Inject.Fault.name !fault) in
+  let result =
+    Endure.run ~label ~base_seed:(Int64.of_int !seed)
+      ~jobs:(resolve_jobs !jobs) ~scenarios:!scenarios cfg
+  in
+  Format.printf "%a" Endure.pp result;
+  Format.printf
+    "survival curve (cycle: alive%% quiet recovered latent died over_budget \
+     leak_pages clean%%):@.";
+  Array.iter
+    (fun (idx, survival, clean_rate) ->
+      let c = result.Endure.totals.Endure.per_cycle.(idx) in
+      Format.printf
+        "  %3d: %5.1f%%  %3d %3d %3d %3d %3d  %3d   clean %5.1f%%@." idx
+        (100.0 *. survival) c.Endure.cs_quiet c.Endure.cs_recovered
+        c.Endure.cs_latent c.Endure.cs_died c.Endure.cs_budget_violations
+        c.Endure.cs_leaked_pages (100.0 *. clean_rate))
+    (Endure.survival_curve result);
+  List.iter
+    (fun (k, v) -> Format.printf "  leak: %s x%d@." k v)
+    (Sim.Stats.Counts.sorted result.Endure.totals.Endure.leaks);
+  List.iter
+    (fun (k, v) -> Format.printf "  death: %s x%d@." k v)
+    (Sim.Stats.Counts.sorted result.Endure.totals.Endure.death_notes);
+  if !json_out <> "" then begin
+    let oc = open_out !json_out in
+    Endure.write_json oc
+      ~meta:
+        [
+          ("tool", `String "nlh_endurance");
+          ("label", `String label);
+          ("mechanism", `String mech_name);
+          ("fault", `String (Inject.Fault.name !fault));
+          ("base_seed", `Int !seed);
+        ]
+      result;
+    close_out oc;
+    Format.printf "endurance report written to %s@." !json_out
+  end;
+  if !Obs_cli.metrics_file <> "" then
+    Obs_cli.write_metrics
+      ~meta:
+        [
+          ("tool", `String "nlh_endurance");
+          ("label", `String label);
+          ("scenarios", `Int !scenarios);
+          ("cycles", `Int !cycles);
+          ("base_seed", `Int !seed);
+          ("jobs", `Int result.Endure.jobs);
+        ]
+      !Obs_cli.metrics_file
+      result.Endure.totals.Endure.metrics;
+  if result.Endure.totals.Endure.budget_violations > 0 then begin
+    Format.printf
+      "FAIL: %d recovery cycle(s) exceeded the leak budget of %d page(s)@."
+      result.Endure.totals.Endure.budget_violations !budget;
+    exit 1
+  end

@@ -1,0 +1,676 @@
+(** Successive-failure endurance campaigns.
+
+    The single-shot injector answers "does one recovery work?"; this
+    subsystem answers the paper's endurance claim: because microreset
+    abandons in-flight work, each recovery can leak a few resources, and
+    those leaks must stay small enough that {e hundreds of successive
+    recoveries} of one long-lived instance are viable (the evaluation
+    mode of the original ReHype paper, and the whole point of
+    Candea-style microrecovery).
+
+    A {e scenario} keeps one hypervisor instance alive through [cycles]
+    inject -> detect -> recover rounds interleaved with workload
+    activity. At every quiesce point the {!Hyper.Ledger} is captured and
+    diffed, attributing leaked frames/heap blocks/locks/timers to the
+    recovery of that cycle. A {e campaign} runs many scenarios (one per
+    seed) over {!Inject.Pool}, merging per-cycle tallies with a
+    commutative merge -- so the survival curve is bit-identical for
+    every [jobs] value, exactly like the single-shot campaigns. *)
+
+open Hyper
+
+type config = {
+  run_cfg : Inject.Run.config;
+      (* fault/setup/mechanism/machine configuration; [seed] is
+         overridden per scenario *)
+  cycles : int; (* inject->recover rounds per scenario *)
+  settle_activities : int;
+      (* post-recovery workload before the quiesce snapshot: lets
+         retried requests complete so the ledger sees steady state *)
+  leak_budget_pages : int option;
+      (* per-recovery orphan-page ceiling (the paper's "few pages per
+         recovery"); [None] disables budget accounting *)
+}
+
+let default_config =
+  {
+    run_cfg = Inject.Run.default_config;
+    cycles = 20;
+    settle_activities = 120;
+    leak_budget_pages = Some 8;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-scenario driver                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type cycle_class =
+  | Cycle_quiet (* fault did not manifest: no detection, no recovery *)
+  | Cycle_recovered (* detected, recovered, post-cycle audit clean *)
+  | Cycle_latent (* recovered but the audit found residual damage *)
+  | Cycle_died (* recovery failed, or the instance crashed again
+                  before reaching the next quiesce point *)
+
+let cycle_class_name = function
+  | Cycle_quiet -> "quiet"
+  | Cycle_recovered -> "recovered"
+  | Cycle_latent -> "latent"
+  | Cycle_died -> "died"
+
+type cycle = {
+  cy_index : int;
+  cy_class : cycle_class;
+  cy_detection : string option;
+  cy_latent_trigger : bool;
+      (* the crash arrived before this cycle's fault was applied:
+         residue of an earlier cycle, not this cycle's injection *)
+  cy_latency : Sim.Time.ns; (* recovery latency; 0 when no recovery ran *)
+  cy_leak : Ledger.t; (* ledger diff across the cycle *)
+  cy_leaked_pages : int;
+  cy_repairs : Recovery.Engine.repairs option;
+}
+
+type end_state = Survived | Died_at of int
+
+type scenario = {
+  sc_seed : int64;
+  sc_end : end_state;
+  sc_death_why : string option; (* stable death-cause label *)
+  sc_first_latent : int option;
+  sc_cycles : cycle list; (* chronological; shorter than [cycles] on death *)
+}
+
+(* Scenario-level instruments, registered eagerly (all of them, on
+   every recorder that drives scenarios) so campaign metric snapshots
+   are structurally identical regardless of which outcomes occur. *)
+type instruments = {
+  i_cycles : Obs.Metrics.counter;
+  i_quiet : Obs.Metrics.counter;
+  i_recoveries : Obs.Metrics.counter;
+  i_clean : Obs.Metrics.counter;
+  i_latent : Obs.Metrics.counter;
+  i_deaths : Obs.Metrics.counter;
+  i_leaked_pages : Obs.Metrics.counter;
+  i_leaks : (string * Obs.Metrics.counter) list; (* per ledger resource *)
+  i_last_cycle : Obs.Metrics.gauge;
+}
+
+let instruments (obs : Obs.Recorder.t) =
+  let m = obs.Obs.Recorder.metrics in
+  {
+    i_cycles = Obs.Metrics.counter m "endure.cycles";
+    i_quiet = Obs.Metrics.counter m "endure.cycles_quiet";
+    i_recoveries = Obs.Metrics.counter m "endure.recoveries";
+    i_clean = Obs.Metrics.counter m "endure.cycles_clean";
+    i_latent = Obs.Metrics.counter m "endure.cycles_latent";
+    i_deaths = Obs.Metrics.counter m "endure.deaths";
+    i_leaked_pages = Obs.Metrics.counter m "endure.leaked_pages";
+    i_leaks =
+      List.map
+        (fun r -> (r, Obs.Metrics.counter m ("endure.leak." ^ r)))
+        Ledger.leak_resource_names;
+    i_last_cycle = Obs.Metrics.gauge m "endure.last_cycle";
+  }
+
+(* Resume the guests after a recovery: re-issue retried interactions and
+   surface lost work, as the single-shot classifier does -- but without
+   the single-shot new-VM probe, which would create and leak domains the
+   ledger would then (correctly, uselessly) report every cycle. *)
+let resume_guests (st : Inject.Run.state) =
+  let hv = st.Inject.Run.hv in
+  let mark_failed domid =
+    match Hypervisor.domain hv domid with
+    | Some d -> d.Domain.guest_failed <- true
+    | None -> ()
+  in
+  List.iter
+    (fun (v : Domain.vcpu) ->
+      if v.Domain.lost_work then begin
+        mark_failed v.Domain.domid;
+        v.Domain.lost_work <- false
+      end;
+      if v.Domain.retry_pending then
+        Hypervisor.retry_hypercall hv st.Inject.Run.rng v;
+      if v.Domain.syscall_retry_pending then Hypervisor.retry_syscall hv v;
+      if not v.Domain.fsgs_valid then mark_failed v.Domain.domid)
+    (Hypervisor.all_vcpus hv)
+
+(* [why] is a stable low-cardinality label ("recovery_failed",
+   "privvm_failed", "post_recovery_crash") used for death-cause tallies;
+   [detection] keeps the full crash description for the cycle record. *)
+exception Dead of { at : int; why : string; detection : string option }
+
+(* One inject -> detect -> recover -> settle round. Returns the cycle
+   record; raises [Dead] when the instance does not reach the next
+   quiesce point. [before] is the quiesce-point ledger entering the
+   cycle. *)
+let run_cycle (st : Inject.Run.state) cfg ins ~mechanism ~enh ~index ~before =
+  let hv = st.Inject.Run.hv in
+  let obs = hv.Hypervisor.obs in
+  let run_cfg = st.Inject.Run.cfg in
+  st.Inject.Run.fault_applied <- false;
+  Inject.Run.arm_fault st;
+  let detection = ref None in
+  (try
+     for _ = 1 to run_cfg.Inject.Run.post_activities do
+       Inject.Run.run_one_activity st
+     done
+   with Crash.Hypervisor_crash d -> detection := Some d);
+  let finish cls ~detection ~latent_trigger ~latency ~repairs =
+    let after = Ledger.capture hv in
+    let leak = Ledger.diff ~before ~after in
+    let leaked_pages = Ledger.leaked_pages leak in
+    (* Per-cycle ledger diffs on stderr: a development aid for chasing a
+       new leak source without modifying the driver. *)
+    if Sys.getenv_opt "NLH_ENDURE_DEBUG" <> None then
+      Format.eprintf "cycle %d (%s): %a@." index (cycle_class_name cls)
+        Ledger.pp_diff leak;
+    Obs.Metrics.incr ins.i_cycles;
+    Obs.Metrics.set ins.i_last_cycle index;
+    Obs.Metrics.incr ~by:leaked_pages ins.i_leaked_pages;
+    List.iter
+      (fun (r, c) ->
+        match List.assoc_opt r (Ledger.leak_fields leak) with
+        | Some v when v > 0 -> Obs.Metrics.incr ~by:v c
+        | Some _ | None -> ())
+      ins.i_leaks;
+    (match cls with
+    | Cycle_quiet -> Obs.Metrics.incr ins.i_quiet
+    | Cycle_recovered ->
+      Obs.Metrics.incr ins.i_recoveries;
+      Obs.Metrics.incr ins.i_clean
+    | Cycle_latent ->
+      Obs.Metrics.incr ins.i_recoveries;
+      Obs.Metrics.incr ins.i_latent
+    | Cycle_died -> Obs.Metrics.incr ins.i_deaths);
+    if Obs.Recorder.enabled obs Obs.Event.Info then begin
+      let now = Sim.Clock.now hv.Hypervisor.clock in
+      Obs.Recorder.event obs ~time:now Obs.Event.Info
+        (Obs.Event.Endure_cycle
+           {
+             index;
+             survived = cls <> Cycle_died;
+             clean = (cls = Cycle_recovered || cls = Cycle_quiet);
+           });
+      List.iter
+        (fun (resource, delta) ->
+          Obs.Recorder.event obs ~time:now Obs.Event.Warn
+            (Obs.Event.Leak_delta { resource; delta }))
+        (Ledger.leak_fields leak)
+    end;
+    ( {
+        cy_index = index;
+        cy_class = cls;
+        cy_detection = detection;
+        cy_latent_trigger = latent_trigger;
+        cy_latency = latency;
+        cy_leak = leak;
+        cy_leaked_pages = leaked_pages;
+        cy_repairs = repairs;
+      },
+      after )
+  in
+  match !detection with
+  | None ->
+    (* Quiet cycle: the sampled manifestation did not crash the
+       hypervisor within this cycle's activity budget (frequent for
+       register/code faults, impossible for failstop). Any silent
+       corruption it left stays for later cycles to trip over. *)
+    finish Cycle_quiet ~detection:None ~latent_trigger:false ~latency:0
+      ~repairs:None
+  | Some det ->
+    let latent_trigger = not st.Inject.Run.fault_applied in
+    hv.Hypervisor.step_hook <- None;
+    Obs.Metrics.incr obs.Obs.Recorder.detections;
+    Sim.Clock.advance_by hv.Hypervisor.clock
+      (Crash.detection_latency ~config:hv.Hypervisor.config det);
+    let faulted_cpu = st.Inject.Run.last_cpu in
+    ignore (Inject.Run.abandon_concurrent_work st ~faulted_cpu);
+    Inject.Run.enter_detection_context st;
+    let recovery =
+      try Ok (Recovery.Engine.recover mechanism hv ~enh ~detected_on:faulted_cpu)
+      with Crash.Hypervisor_crash d -> Error (Crash.describe d)
+    in
+    (match recovery with
+    | Error why ->
+      Obs.Metrics.incr ins.i_deaths;
+      ignore why;
+      raise
+        (Dead
+           {
+             at = index;
+             why = "recovery_failed";
+             detection = Some (Crash.describe det);
+           })
+    | Ok recovery -> (
+      try
+        resume_guests st;
+        Inject.Run.install_cpu_tracker st;
+        for _ = 1 to cfg.settle_activities do
+          Inject.Run.run_one_activity st
+        done;
+        if (Hypervisor.privvm hv).Domain.guest_failed then
+          raise
+            (Dead
+               {
+                 at = index;
+                 why = "privvm_failed";
+                 detection = Some (Crash.describe det);
+               });
+        let report = Hypervisor.audit hv in
+        let clean = Hypervisor.audit_clean report in
+        if not clean then Hypervisor.record_audit_violations hv report;
+        finish
+          (if clean then Cycle_recovered else Cycle_latent)
+          ~detection:(Some (Crash.describe det))
+          ~latent_trigger
+          ~latency:recovery.Recovery.Engine.latency
+          ~repairs:(Some recovery.Recovery.Engine.repairs)
+      with Crash.Hypervisor_crash d ->
+        (* Crashed again between recovery and the next quiesce point:
+           the instance is gone (a second recovery of an already-broken
+           instance is the next cycle's business only if we reach it --
+           we did not). *)
+        Obs.Metrics.incr ins.i_deaths;
+        ignore d;
+        raise
+          (Dead
+             {
+               at = index;
+               why = "post_recovery_crash";
+               detection = Some (Crash.describe det);
+             })))
+
+(* Drive one full scenario over an already-rewound machine state. *)
+let drive (st : Inject.Run.state) (cfg : config) : scenario =
+  let mechanism, enh =
+    match st.Inject.Run.cfg.Inject.Run.mech with
+    | Inject.Run.Mech (m, e) -> (m, e)
+    | Inject.Run.No_recovery ->
+      invalid_arg "Endure.drive: endurance needs a recovery mechanism"
+  in
+  let hv = st.Inject.Run.hv in
+  let ins = instruments hv.Hypervisor.obs in
+  Inject.Run.install_cpu_tracker st;
+  for _ = 1 to st.Inject.Run.cfg.Inject.Run.warmup_activities do
+    Inject.Run.run_one_activity st
+  done;
+  let cycles = ref [] in
+  let first_latent = ref None in
+  let death = ref None in
+  let death_why = ref None in
+  let before = ref (Ledger.capture hv) in
+  (try
+     for index = 0 to cfg.cycles - 1 do
+       let cy, after =
+         run_cycle st cfg ins ~mechanism ~enh ~index ~before:!before
+       in
+       before := after;
+       cycles := cy :: !cycles;
+       if cy.cy_class = Cycle_latent && !first_latent = None then
+         first_latent := Some index
+     done
+   with Dead { at; why; detection } ->
+     death := Some at;
+     death_why := Some why;
+     cycles :=
+       {
+         cy_index = at;
+         cy_class = Cycle_died;
+         cy_detection = detection;
+         cy_latent_trigger = false;
+         cy_latency = 0;
+         cy_leak = Ledger.diff ~before:!before ~after:!before;
+         cy_leaked_pages = 0;
+         cy_repairs = None;
+       }
+       :: List.filter (fun c -> c.cy_index < at) !cycles);
+  {
+    sc_seed = st.Inject.Run.cfg.Inject.Run.seed;
+    sc_end = (match !death with None -> Survived | Some k -> Died_at k);
+    sc_death_why = !death_why;
+    sc_first_latent = !first_latent;
+    sc_cycles = List.rev !cycles;
+  }
+
+(* Run one scenario on a reusable worker: rewind the machine in place
+   (exactly as a campaign run would), then drive the cycles. *)
+let scenario_on_worker (w : Inject.Run.worker) (cfg : config) ~seed =
+  let run_cfg = { cfg.run_cfg with Inject.Run.seed } in
+  Inject.Run.rewind w run_cfg;
+  drive (Inject.Run.make_state run_cfg w.Inject.Run.w_rng w.Inject.Run.w_hv) cfg
+
+(* One-shot convenience: boot a fresh machine and drive one scenario.
+   [recorder] receives the cycle/leak events, recovery spans and
+   endurance metrics. *)
+let run_scenario ?recorder (cfg : config) ~seed =
+  let run_cfg = { cfg.run_cfg with Inject.Run.seed } in
+  drive (Inject.Run.boot_state ?recorder run_cfg) cfg
+
+(* ------------------------------------------------------------------ *)
+(* Campaign aggregation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-cycle-index tallies, summed over scenarios. Every field is a sum,
+   so index-wise array merge is commutative and associative. *)
+type cycle_stats = {
+  mutable cs_entered : int; (* scenarios alive entering this cycle *)
+  mutable cs_quiet : int;
+  mutable cs_recovered : int;
+  mutable cs_latent : int;
+  mutable cs_died : int;
+  mutable cs_leaked_pages : int;
+  mutable cs_budget_violations : int;
+  mutable cs_latency_sum : Sim.Time.ns;
+  mutable cs_latency_samples : int;
+}
+
+let make_cycle_stats () =
+  {
+    cs_entered = 0;
+    cs_quiet = 0;
+    cs_recovered = 0;
+    cs_latent = 0;
+    cs_died = 0;
+    cs_leaked_pages = 0;
+    cs_budget_violations = 0;
+    cs_latency_sum = 0;
+    cs_latency_samples = 0;
+  }
+
+type totals = {
+  mutable scenarios : int;
+  mutable survived : int;
+  mutable deaths : int;
+  mutable latent_scenarios : int; (* survived, but some cycle left residue *)
+  mutable max_leaked_pages : int; (* worst single recovery *)
+  mutable budget_violations : int;
+  per_cycle : cycle_stats array; (* length = configured cycle count *)
+  leaks : Sim.Stats.Counts.t; (* per-resource leak totals (positive deltas) *)
+  death_notes : Sim.Stats.Counts.t;
+  mutable metrics : Obs.Metrics.snapshot;
+}
+
+let make_totals ~cycles =
+  {
+    scenarios = 0;
+    survived = 0;
+    deaths = 0;
+    latent_scenarios = 0;
+    max_leaked_pages = 0;
+    budget_violations = 0;
+    per_cycle = Array.init cycles (fun _ -> make_cycle_stats ());
+    leaks = Sim.Stats.Counts.create ();
+    death_notes = Sim.Stats.Counts.create ();
+    metrics = Obs.Metrics.empty_snapshot;
+  }
+
+let add_scenario t (cfg : config) (sc : scenario) =
+  t.scenarios <- t.scenarios + 1;
+  (match sc.sc_end with
+  | Survived ->
+    t.survived <- t.survived + 1;
+    if sc.sc_first_latent <> None then
+      t.latent_scenarios <- t.latent_scenarios + 1
+  | Died_at _ ->
+    t.deaths <- t.deaths + 1;
+    (match sc.sc_death_why with
+    | Some why -> Sim.Stats.Counts.add t.death_notes why
+    | None -> ()));
+  List.iter
+    (fun cy ->
+      let cs = t.per_cycle.(cy.cy_index) in
+      cs.cs_entered <- cs.cs_entered + 1;
+      (match cy.cy_class with
+      | Cycle_quiet -> cs.cs_quiet <- cs.cs_quiet + 1
+      | Cycle_recovered -> cs.cs_recovered <- cs.cs_recovered + 1
+      | Cycle_latent -> cs.cs_latent <- cs.cs_latent + 1
+      | Cycle_died -> cs.cs_died <- cs.cs_died + 1);
+      cs.cs_leaked_pages <- cs.cs_leaked_pages + cy.cy_leaked_pages;
+      if cy.cy_latency > 0 then begin
+        cs.cs_latency_sum <- cs.cs_latency_sum + cy.cy_latency;
+        cs.cs_latency_samples <- cs.cs_latency_samples + 1
+      end;
+      if cy.cy_leaked_pages > t.max_leaked_pages then
+        t.max_leaked_pages <- cy.cy_leaked_pages;
+      (match cfg.leak_budget_pages with
+      | Some budget when cy.cy_leaked_pages > budget ->
+        cs.cs_budget_violations <- cs.cs_budget_violations + 1;
+        t.budget_violations <- t.budget_violations + 1
+      | Some _ | None -> ());
+      List.iter
+        (fun (r, v) -> if v > 0 then Sim.Stats.Counts.add ~by:v t.leaks r)
+        (Ledger.leak_fields cy.cy_leak))
+    sc.sc_cycles
+
+(* Commutative, associative fold of [src] into [dst] -- the property the
+   parallel campaign relies on for jobs-independence. *)
+let merge_into dst src =
+  dst.scenarios <- dst.scenarios + src.scenarios;
+  dst.survived <- dst.survived + src.survived;
+  dst.deaths <- dst.deaths + src.deaths;
+  dst.latent_scenarios <- dst.latent_scenarios + src.latent_scenarios;
+  dst.max_leaked_pages <- max dst.max_leaked_pages src.max_leaked_pages;
+  dst.budget_violations <- dst.budget_violations + src.budget_violations;
+  Array.iteri
+    (fun i (s : cycle_stats) ->
+      let d = dst.per_cycle.(i) in
+      d.cs_entered <- d.cs_entered + s.cs_entered;
+      d.cs_quiet <- d.cs_quiet + s.cs_quiet;
+      d.cs_recovered <- d.cs_recovered + s.cs_recovered;
+      d.cs_latent <- d.cs_latent + s.cs_latent;
+      d.cs_died <- d.cs_died + s.cs_died;
+      d.cs_leaked_pages <- d.cs_leaked_pages + s.cs_leaked_pages;
+      d.cs_budget_violations <- d.cs_budget_violations + s.cs_budget_violations;
+      d.cs_latency_sum <- d.cs_latency_sum + s.cs_latency_sum;
+      d.cs_latency_samples <- d.cs_latency_samples + s.cs_latency_samples)
+    src.per_cycle;
+  Sim.Stats.Counts.merge_into ~into:dst.leaks src.leaks;
+  Sim.Stats.Counts.merge_into ~into:dst.death_notes src.death_notes;
+  dst.metrics <- Obs.Metrics.merge_snapshots dst.metrics src.metrics
+
+(* Canonical immutable view for determinism comparisons: plain ints and
+   key-sorted lists only. *)
+type snapshot = {
+  s_scenarios : int;
+  s_survived : int;
+  s_deaths : int;
+  s_latent_scenarios : int;
+  s_max_leaked_pages : int;
+  s_budget_violations : int;
+  s_per_cycle : (int * int * int * int * int * int * int) list;
+      (* (entered, quiet, recovered, latent, died, leaked_pages,
+         latency_sum) per cycle index *)
+  s_leaks : (string * int) list;
+  s_death_notes : (string * int) list;
+  s_metrics : Obs.Metrics.snapshot;
+}
+
+let snapshot t =
+  {
+    s_scenarios = t.scenarios;
+    s_survived = t.survived;
+    s_deaths = t.deaths;
+    s_latent_scenarios = t.latent_scenarios;
+    s_max_leaked_pages = t.max_leaked_pages;
+    s_budget_violations = t.budget_violations;
+    s_per_cycle =
+      Array.to_list
+        (Array.map
+           (fun c ->
+             ( c.cs_entered,
+               c.cs_quiet,
+               c.cs_recovered,
+               c.cs_latent,
+               c.cs_died,
+               c.cs_leaked_pages,
+               c.cs_latency_sum ))
+           t.per_cycle);
+    s_leaks = Sim.Stats.Counts.sorted t.leaks;
+    s_death_notes = Sim.Stats.Counts.sorted t.death_notes;
+    s_metrics = t.metrics;
+  }
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "scenarios=%d survived=%d deaths=%d latent=%d max_leak=%d budget_viol=%d \
+     curve=[%a] leaks=[%a]"
+    s.s_scenarios s.s_survived s.s_deaths s.s_latent_scenarios
+    s.s_max_leaked_pages s.s_budget_violations
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (e, q, r, l, d, lp, _) ->
+         Format.fprintf fmt "%d/%d/%d/%d/%d/%d" e q r l d lp))
+    s.s_per_cycle
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (k, v) -> Format.fprintf fmt "%s x%d" k v))
+    s.s_leaks
+
+type result = {
+  config_label : string;
+  cfg : config;
+  totals : totals;
+  jobs : int; (* worker domains actually used *)
+  wall_seconds : float;
+}
+
+(* Survival curve point: fraction of scenarios still alive *after* each
+   cycle index, plus that cycle's audit-clean rate among recoveries. *)
+let survival_curve r =
+  let n = max 1 r.totals.scenarios in
+  let alive = ref r.totals.scenarios in
+  Array.mapi
+    (fun i (c : cycle_stats) ->
+      alive := !alive - c.cs_died;
+      let recoveries = c.cs_recovered + c.cs_latent in
+      ( i,
+        float_of_int !alive /. float_of_int n,
+        (if recoveries = 0 then 1.0
+         else float_of_int c.cs_recovered /. float_of_int recoveries) ))
+    r.totals.per_cycle
+
+let mean_leak_pages_per_recovery r =
+  let recoveries, pages =
+    Array.fold_left
+      (fun (n, p) c -> (n + c.cs_recovered + c.cs_latent, p + c.cs_leaked_pages))
+      (0, 0) r.totals.per_cycle
+  in
+  Sim.Stats.mean_of_sum ~sum:pages ~samples:recoveries
+
+(* Run [scenarios] endurance scenarios of [cfg], varying only the seed,
+   optionally across OCaml 5 domains. Mirrors {!Inject.Campaign.run}:
+   one long-lived worker machine per domain, reset in place between
+   scenarios; totals merged commutatively, hence jobs-independent. *)
+let run ?(label = "") ?(base_seed = 77_000L) ?(jobs = 1) ?chunk
+    ?(oversubscribe = false) ~scenarios (cfg : config) =
+  let t0 = Unix.gettimeofday () in
+  let init () = (make_totals ~cycles:cfg.cycles, ref None) in
+  let body (totals, worker) i =
+    let seed = Int64.add base_seed (Int64.of_int i) in
+    let w =
+      match !worker with
+      | Some w -> w
+      | None ->
+        let recorder =
+          Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
+        in
+        (* Register the endurance instruments before the first scenario
+           so every worker's registry is structurally identical. *)
+        ignore (instruments recorder);
+        let w = Inject.Run.prepare ~recorder { cfg.run_cfg with Inject.Run.seed } in
+        worker := Some w;
+        w
+    in
+    add_scenario totals cfg (scenario_on_worker w cfg ~seed);
+    totals.metrics <-
+      Obs.Metrics.merge_snapshots totals.metrics
+        (Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w))
+  in
+  let totals, _ =
+    Inject.Pool.map_reduce ~jobs ?chunk ~oversubscribe ~n:scenarios ~init ~body
+      ~merge:(fun (a, wa) (b, _) ->
+        merge_into a b;
+        (a, wa))
+      ()
+  in
+  let used_jobs =
+    let j = max 1 (min jobs (max 1 scenarios)) in
+    if oversubscribe then j else min j (Inject.Pool.default_jobs ())
+  in
+  {
+    config_label = label;
+    cfg;
+    totals;
+    jobs = used_jobs;
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let pp fmt r =
+  let t = r.totals in
+  Format.fprintf fmt
+    "%s: scenarios=%d cycles=%d | survived %d, died %d, latent %d | \
+     leak max %d pages/recovery%a, budget violations %d@."
+    r.config_label t.scenarios r.cfg.cycles t.survived t.deaths
+    t.latent_scenarios t.max_leaked_pages
+    (fun fmt () ->
+      match mean_leak_pages_per_recovery r with
+      | Some m -> Format.fprintf fmt " (mean %.2f)" m
+      | None -> ())
+    () t.budget_violations;
+  if r.wall_seconds > 0.0 then
+    Format.fprintf fmt "%s: wall %.2fs (jobs=%d, cores=%d)@." r.config_label
+      r.wall_seconds r.jobs
+      (Inject.Pool.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* JSON export (BENCH_endurance.json)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled like the bench records: schema [nlh-endurance/1]. *)
+let write_json oc ?(meta = []) r =
+  let t = r.totals in
+  Printf.fprintf oc "{\n  \"schema\": \"nlh-endurance/1\",\n";
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | `String s -> Printf.fprintf oc "  %S: %S,\n" k s
+      | `Int i -> Printf.fprintf oc "  %S: %d,\n" k i
+      | `Bool b -> Printf.fprintf oc "  %S: %b,\n" k b)
+    meta;
+  Printf.fprintf oc "  \"scenarios\": %d,\n  \"cycles\": %d,\n" t.scenarios
+    r.cfg.cycles;
+  Printf.fprintf oc "  \"jobs\": %d,\n  \"cores\": %d,\n" r.jobs
+    (Inject.Pool.default_jobs ());
+  Printf.fprintf oc "  \"seconds\": %.3f,\n" r.wall_seconds;
+  Printf.fprintf oc
+    "  \"survived\": %d,\n  \"died\": %d,\n  \"latent_scenarios\": %d,\n"
+    t.survived t.deaths t.latent_scenarios;
+  Printf.fprintf oc "  \"max_leaked_pages_per_recovery\": %d,\n"
+    t.max_leaked_pages;
+  (match mean_leak_pages_per_recovery r with
+  | Some m -> Printf.fprintf oc "  \"mean_leaked_pages_per_recovery\": %.4f,\n" m
+  | None -> ());
+  (match r.cfg.leak_budget_pages with
+  | Some b -> Printf.fprintf oc "  \"leak_budget_pages\": %d,\n" b
+  | None -> ());
+  Printf.fprintf oc "  \"budget_violations\": %d,\n" t.budget_violations;
+  Printf.fprintf oc "  \"leaks_by_resource\": {";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "%s\n    %S: %d" (if i > 0 then "," else "") k v)
+    (Sim.Stats.Counts.sorted t.leaks);
+  Printf.fprintf oc "\n  },\n  \"curve\": [";
+  let curve = survival_curve r in
+  Array.iteri
+    (fun i (idx, survival, clean_rate) ->
+      let c = t.per_cycle.(idx) in
+      Printf.fprintf oc
+        "%s\n    { \"cycle\": %d, \"entered\": %d, \"quiet\": %d, \
+         \"recovered\": %d, \"latent\": %d, \"died\": %d, \"leaked_pages\": \
+         %d, \"survival\": %.4f, \"clean_rate\": %.4f }"
+        (if i > 0 then "," else "")
+        idx c.cs_entered c.cs_quiet c.cs_recovered c.cs_latent c.cs_died
+        c.cs_leaked_pages survival clean_rate)
+    curve;
+  Printf.fprintf oc "\n  ]\n}\n"

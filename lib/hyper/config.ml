@@ -22,7 +22,17 @@ type t = {
          restore routing *)
   bootline_logging : bool;
       (* ReHype only: log boot command-line options for the re-boot *)
+  watchdog_period_ms : int;
+      (* NMI-watchdog tick period; a hang is detected after
+         [watchdog_hang_periods] missed ticks, so this sets the hang
+         detection latency (endurance runs sweep it) *)
 }
+
+(* The watchdog declares a hang after this many consecutive missed
+   ticks (the paper's "roughly three 100 ms periods"). *)
+let watchdog_hang_periods = 3
+
+let hang_detection_latency t = Sim.Time.ms (watchdog_hang_periods * t.watchdog_period_ms)
 
 let stock =
   {
@@ -32,6 +42,7 @@ let stock =
     hypercall_progress_tracking = false;
     ioapic_write_logging = false;
     bootline_logging = false;
+    watchdog_period_ms = 100;
   }
 
 let nilihype =
@@ -42,6 +53,7 @@ let nilihype =
     hypercall_progress_tracking = true;
     ioapic_write_logging = false;
     bootline_logging = false;
+    watchdog_period_ms = 100;
   }
 
 (* NiLiHype* in Figure 3: the logging turned off. *)

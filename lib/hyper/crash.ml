@@ -25,9 +25,12 @@ let hv_assert cond fmt =
       (fun s -> raise (Hypervisor_crash (Panic ("ASSERT: " ^ s))))
       fmt
 
-let detection_latency = function
+(* Panics trap immediately; hangs wait for the NMI watchdog, i.e.
+   [Config.watchdog_hang_periods] ticks of the configured period
+   (three 100 ms periods by default, as in the paper). *)
+let detection_latency ?(config = Config.nilihype) = function
   | Panic _ -> Sim.Time.us 10
-  | Hang _ -> Sim.Time.ms 300 (* three 100ms watchdog periods *)
+  | Hang _ -> Config.hang_detection_latency config
 
 let describe = function
   | Panic s -> "panic: " ^ s

@@ -98,6 +98,28 @@ let idle_domain t =
 (* Construction and boot                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The fixed vocabulary of audit-violation kinds (one [audit.*] counter
+   per kind). Listed here, ahead of [create], so every recorder attached
+   to a hypervisor gets all the instruments registered eagerly -- a
+   reused recorder must stay structurally identical to a fresh one
+   regardless of which violations a particular run exhibits. *)
+let audit_violation_kinds =
+  [
+    "static_locks_held";
+    "heap_locks_held";
+    "irq_counts_nonzero";
+    "sched_inconsistent";
+    "pfn_inconsistent";
+    "heap_corrupt";
+    "timer_structure_bad";
+    "recurring_missing";
+    "apics_unarmed";
+    "static_data_corrupt";
+  ]
+
+let audit_counter obs kind =
+  Obs.Metrics.counter obs.Obs.Recorder.metrics ("audit." ^ kind)
+
 let create ?(mconfig = Hw.Machine.default_config) ?obs ~config clock =
   let machine = Hw.Machine.create ~config:mconfig clock in
   let obs =
@@ -145,6 +167,7 @@ let create ?(mconfig = Hw.Machine.default_config) ?obs ~config clock =
     }
   in
   Hw.Ioapic.set_logging machine.Hw.Machine.ioapic config.Config.ioapic_write_logging;
+  List.iter (fun kind -> ignore (audit_counter obs kind)) audit_violation_kinds;
   t
 
 (* Record a typed event against the hypervisor's recorder at the current
@@ -164,10 +187,10 @@ let _ = tracef (* kept for ad-hoc debugging call sites *)
 let register_recurring_events t =
   let now = Sim.Clock.now t.clock in
   ignore (Timer_heap.add t.timers ~deadline:(now + Sim.Time.ms 30) ~period:(Sim.Time.ms 30) Timer_heap.Time_sync);
+  let wd_period = Sim.Time.ms t.config.Config.watchdog_period_ms in
   ignore
-    (Timer_heap.add t.timers
-       ~deadline:(now + Sim.Time.ms 100)
-       ~period:(Sim.Time.ms 100) Timer_heap.Watchdog_tick);
+    (Timer_heap.add t.timers ~deadline:(now + wd_period) ~period:wd_period
+       Timer_heap.Watchdog_tick);
   for cpu = 0 to cpu_count t - 1 do
     ignore
       (Timer_heap.add t.timers
@@ -206,7 +229,14 @@ let create_domain_internal ?(is_idle = false) t ~privileged ~vcpu_pins ~mem_fram
   for i = 0 to mem_frames - 1 do
     let ptype = if i mod 8 = 0 then Pfn.Page_table else Pfn.Writable in
     let d = Pfn.alloc_frame t.pfn ~owner:domid ~ptype in
-    if ptype = Pfn.Page_table then Pfn.validate d;
+    (* Reference convention: every owned frame carries the allocation
+       reference; a validated page table additionally carries the pin
+       (type) reference, exactly as one pinned by mmu_update does -- so
+       unpinning any table drops one reference and never frees it. *)
+    if ptype = Pfn.Page_table then begin
+      Pfn.validate d;
+      Pfn.get_page d
+    end;
     dom.Domain.owned_frames <- d.Pfn.index :: dom.Domain.owned_frames
   done;
   Evtchn.bind dom.Domain.evtchn ~port:1;
@@ -232,7 +262,11 @@ let destroy_domain_internal t dom =
       let d = Pfn.get t.pfn f in
       if d.Pfn.owner = dom.Domain.domid then begin
         if d.Pfn.validated then Pfn.invalidate d;
-        if d.Pfn.use_count > 0 then Pfn.put_page d
+        (* Drop every reference (pin and allocation) so the frame really
+           returns to the allocator. *)
+        while d.Pfn.use_count > 0 do
+          Pfn.put_page d
+        done
       end)
     dom.Domain.owned_frames;
   dom.Domain.owned_frames <- [];
@@ -464,11 +498,13 @@ let exec_mmu_update t (s : stepper) journal (dom : Domain.t)
       dom.Domain.owned_frames <- d.Pfn.index :: dom.Domain.owned_frames;
       (d, old_frame)
   in
-  (* Unpin the table being replaced: invalidate + drop its reference.
-     Non-idempotent (retrying invalidates an already-invalid frame);
-     reversible only through the undo journal -- code reordering cannot
-     move this, because the PTE writes below must not race with a still-
-     pinned old table. *)
+  (* Unpin the table being replaced: invalidate + drop the pin
+     reference. The frame keeps its allocation reference and returns to
+     the guest's writable pool (a later decrease_reservation frees it);
+     unpinning must not orphan it. Non-idempotent (retrying invalidates
+     an already-invalid frame); reversible only through the undo
+     journal -- code reordering cannot move this, because the PTE writes
+     below must not race with a still-pinned old table. *)
   (match old_frame with
   | Some o ->
     let od = Pfn.get t.pfn o in
@@ -480,8 +516,7 @@ let exec_mmu_update t (s : stepper) journal (dom : Domain.t)
           journal_log t journal (Journal.Owner_change (od, od.Pfn.owner));
           journal_log t journal (Journal.Use_count_delta (od, -1));
           Pfn.put_page od;
-          dom.Domain.owned_frames <-
-            List.filter (fun f -> f <> o) dom.Domain.owned_frames
+          if od.Pfn.use_count > 0 then od.Pfn.ptype <- Pfn.Writable
         end
         else
           (* Retry without undo: double unpin. *)
@@ -1155,6 +1190,37 @@ let audit_clean r =
   && r.sched_consistent && r.pfn_inconsistent = 0 && r.heap_ok
   && r.timer_structure_ok && r.recurring_missing = 0 && r.apics_unarmed = 0
   && r.static_data_ok
+
+(* The audit's violations as (kind, magnitude) pairs — the fixed kind
+   vocabulary behind the per-kind obs counters (see
+   [audit_violation_kinds] above; instruments are registered eagerly at
+   [create] so fresh and reused recorders stay structurally identical). *)
+let audit_violations r =
+  let flag name cond = if cond then [ (name, 1) ] else [] in
+  let count name n = if n > 0 then [ (name, n) ] else [] in
+  count "static_locks_held" r.static_locks_held
+  @ flag "heap_locks_held" r.heap_locks_held
+  @ count "irq_counts_nonzero" r.irq_counts_nonzero
+  @ flag "sched_inconsistent" (not r.sched_consistent)
+  @ count "pfn_inconsistent" r.pfn_inconsistent
+  @ flag "heap_corrupt" (not r.heap_ok)
+  @ flag "timer_structure_bad" (not r.timer_structure_ok)
+  @ count "recurring_missing" r.recurring_missing
+  @ count "apics_unarmed" r.apics_unarmed
+  @ flag "static_data_corrupt" (not r.static_data_ok)
+
+(* Bump the per-kind [audit.*] counters and emit one typed
+   [Audit_violation] event per violated invariant. Called wherever an
+   audit is consulted for pass/fail (post-recovery classification,
+   endurance cycles) so violations are queryable instead of living only
+   in a formatted failure string. *)
+let record_audit_violations t r =
+  List.iter
+    (fun (kind, count) ->
+      Obs.Metrics.incr ~by:count (audit_counter t.obs kind);
+      if Obs.Recorder.enabled t.obs Obs.Event.Warn then
+        observe t Obs.Event.Warn (Obs.Event.Audit_violation { kind; count }))
+    (audit_violations r)
 
 let pp_audit fmt r =
   Format.fprintf fmt

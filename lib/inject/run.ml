@@ -381,6 +381,9 @@ let post_recovery_phase st =
        let report = Hypervisor.audit hv in
        if not (Hypervisor.audit_clean report) then begin
          hv_ok := false;
+         (* Violations also land as typed events + per-kind [audit.*]
+            counters, not just this formatted failure note. *)
+         Hypervisor.record_audit_violations hv report;
          fail (Format.asprintf "residual inconsistency: %a" Hypervisor.pp_audit report)
        end
      end
@@ -435,7 +438,8 @@ let run_prepared st : outcome =
              kind = (match det with Crash.Panic _ -> "panic" | Crash.Hang _ -> "hang");
              message = Crash.describe det;
            });
-      Sim.Clock.advance_by st.hv.Hypervisor.clock (Crash.detection_latency det);
+      Sim.Clock.advance_by st.hv.Hypervisor.clock
+        (Crash.detection_latency ~config:st.hv.Hypervisor.config det);
     let busy_cpus = abandon_concurrent_work st ~faulted_cpu in
     enter_detection_context st;
     let recovery_result =
@@ -566,7 +570,11 @@ let prepare ?recorder (cfg : config) =
    it after [execute_into] returns. *)
 let worker_recorder w = w.w_hv.Hypervisor.obs
 
-let execute_into w (cfg : config) : outcome =
+(* Rewind the worker to a freshly-booted machine for [cfg]: reseed the
+   RNG and reset the machine in place (or boot a replacement when the
+   geometry changed). Also used directly by the endurance driver, which
+   then runs its own multi-cycle scenario instead of [run_prepared]. *)
+let rewind w (cfg : config) =
   Sim.Rng.reseed w.w_rng cfg.seed;
   if cfg.mconfig <> w.w_mconfig then begin
     (* The machine geometry changed: the tables cannot be reused. Boot a
@@ -583,5 +591,8 @@ let execute_into w (cfg : config) : outcome =
   end
   else
     Hypervisor.reboot_in_place w.w_hv ~config:cfg.hv_config
-      ~setup:(hv_setup_of cfg) ~vcpus_per_cpu:cfg.vcpus_per_cpu;
+      ~setup:(hv_setup_of cfg) ~vcpus_per_cpu:cfg.vcpus_per_cpu
+
+let execute_into w (cfg : config) : outcome =
+  rewind w cfg;
   run_prepared (make_state cfg w.w_rng w.w_hv)

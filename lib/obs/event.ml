@@ -38,6 +38,7 @@ type subsystem =
   | Detect
   | Recovery
   | Outcome
+  | Endure
   | Other
 
 let subsystem_name = function
@@ -49,6 +50,7 @@ let subsystem_name = function
   | Detect -> "detect"
   | Recovery -> "recovery"
   | Outcome -> "outcome"
+  | Endure -> "endure"
   | Other -> "other"
 
 type payload =
@@ -66,6 +68,13 @@ type payload =
   | Detection of { kind : string; message : string }
   | Recovery_step of { mechanism : string; step : string }
   | Outcome_classified of { name : string }
+  (* Post-recovery consistency audit: one event per violated invariant
+     kind, with the violation magnitude (count of bad locks/frames/...). *)
+  | Audit_violation of { kind : string; count : int }
+  (* Endurance campaigns: per-cycle outcome of a long-lived instance and
+     per-resource leak attribution from the ledger diff. *)
+  | Endure_cycle of { index : int; survived : bool; clean : bool }
+  | Leak_delta of { resource : string; delta : int }
   (* Free-form messages (the legacy [tracef] path). *)
   | Message of string
 
@@ -78,6 +87,8 @@ let subsystem = function
   | Detection _ -> Detect
   | Recovery_step _ -> Recovery
   | Outcome_classified _ -> Outcome
+  | Audit_violation _ -> Detect
+  | Endure_cycle _ | Leak_delta _ -> Endure
   | Message _ -> Other
 
 (* Short event name, used as the Chrome-trace "name" field. *)
@@ -94,6 +105,9 @@ let name = function
   | Detection { kind; _ } -> "detection:" ^ kind
   | Recovery_step { step; _ } -> "recovery_step:" ^ step
   | Outcome_classified { name } -> "outcome:" ^ name
+  | Audit_violation { kind; _ } -> "audit_violation:" ^ kind
+  | Endure_cycle _ -> "endure_cycle"
+  | Leak_delta { resource; _ } -> "leak:" ^ resource
   | Message _ -> "message"
 
 (* Structured payload fields as (key, value) pairs for exporters. *)
@@ -127,6 +141,12 @@ let args = function
   | Recovery_step { mechanism; step } ->
     [ ("mechanism", `String mechanism); ("step", `String step) ]
   | Outcome_classified { name } -> [ ("name", `String name) ]
+  | Audit_violation { kind; count } ->
+    [ ("kind", `String kind); ("count", `Int count) ]
+  | Endure_cycle { index; survived; clean } ->
+    [ ("index", `Int index); ("survived", `Bool survived); ("clean", `Bool clean) ]
+  | Leak_delta { resource; delta } ->
+    [ ("resource", `String resource); ("delta", `Int delta) ]
   | Message m -> [ ("message", `String m) ]
 
 (* A recorded event: simulated timestamp plus origin coordinates.

@@ -10,10 +10,22 @@ val config : mechanism -> Hyper.Config.t
 (** The normal-operation configuration each mechanism requires (ReHype
     additionally needs IO-APIC write logging and boot-line logging). *)
 
+type repairs = {
+  heap_locks_released : int;
+  static_locks_released : int;
+  sched_fixes : int;
+  pfn_fixed : int;
+  recurring_reactivated : int;
+}
+(** Abandoned in-flight work the recovery had to repair. For ReHype the
+    static-lock / scheduler / recurring-timer counts are structurally 0:
+    the reboot re-initialises those structures instead of fixing them. *)
+
 type outcome = {
   mechanism : mechanism;
   latency : Sim.Time.ns; (* simulated end-to-end recovery latency *)
   breakdown : Hyper.Latency_model.breakdown;
+  repairs : repairs;
 }
 
 val recover :

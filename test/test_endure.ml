@@ -1,0 +1,314 @@
+(* Tests for the endurance subsystem: the resource-leak ledger, the
+   successive-failure scenario driver, campaign aggregation and the
+   satellite changes riding along (configurable watchdog period, audit
+   violations as metrics). *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let run_cfg ?(fault = Inject.Fault.Failstop)
+    ?(config = Hyper.Config.nilihype)
+    ?(mech = Recovery.Engine.Nilihype) ?(seed = 42L) () =
+  {
+    Inject.Run.default_config with
+    Inject.Run.seed;
+    fault;
+    mech = Inject.Run.Mech (mech, Recovery.Enhancement.full_set);
+    hv_config = config;
+  }
+
+let endure_cfg ?fault ?config ?mech ?(cycles = 3) ?(budget = Some 8) () =
+  {
+    Endure.run_cfg = run_cfg ?fault ?config ?mech ();
+    cycles;
+    settle_activities = 100;
+    leak_budget_pages = budget;
+  }
+
+(* ------------------------- Ledger ----------------------------------- *)
+
+(* Satellite: fault-free activity between two quiesce points leaves the
+   orphan view untouched -- the ledger's leak fields are workload-
+   invariant, so any per-cycle growth is a genuine leak. *)
+let test_zero_leak_workload config () =
+  let st = Inject.Run.boot_state (run_cfg ~config ()) in
+  for _ = 1 to 200 do
+    Inject.Run.run_one_activity st
+  done;
+  let l1 = Hyper.Ledger.capture st.Inject.Run.hv in
+  for _ = 1 to 400 do
+    Inject.Run.run_one_activity st
+  done;
+  let l2 = Hyper.Ledger.capture st.Inject.Run.hv in
+  let d = Hyper.Ledger.diff ~before:l1 ~after:l2 in
+  checkb "no leak across fault-free workload" true (Hyper.Ledger.no_leak d);
+  checki "no pages leaked" 0 (Hyper.Ledger.leaked_pages d)
+
+(* A recovery on a perfectly healthy instance must not leak either, for
+   both mechanisms and with continued workload afterwards. *)
+let test_zero_leak_recovery (mech, config) () =
+  let st = Inject.Run.boot_state (run_cfg ~config ~mech ()) in
+  for _ = 1 to 200 do
+    Inject.Run.run_one_activity st
+  done;
+  let l1 = Hyper.Ledger.capture st.Inject.Run.hv in
+  let outcome =
+    Recovery.Engine.recover mech st.Inject.Run.hv
+      ~enh:Recovery.Enhancement.full_set ~detected_on:0
+  in
+  checkb "recovery reports latency" true (outcome.Recovery.Engine.latency > 0);
+  for _ = 1 to 200 do
+    Inject.Run.run_one_activity st
+  done;
+  let l2 = Hyper.Ledger.capture st.Inject.Run.hv in
+  checkb "no leak across fault-free recovery" true
+    (Hyper.Ledger.no_leak (Hyper.Ledger.diff ~before:l1 ~after:l2))
+
+(* Reset-in-place reuse: the ledger of a rewound worker machine is
+   structurally identical to a fresh boot's. *)
+let test_reset_in_place_ledger () =
+  let cfg = run_cfg () in
+  let fresh = Hyper.Ledger.capture (Inject.Run.boot_state cfg).Inject.Run.hv in
+  let w = Inject.Run.prepare cfg in
+  ignore (Inject.Run.execute_into w cfg);
+  Inject.Run.rewind w cfg;
+  let reused = Hyper.Ledger.capture w.Inject.Run.w_hv in
+  checkb "fresh and reset-in-place ledgers identical" true (fresh = reused)
+
+let test_leaked_pages_clamp () =
+  let st = Inject.Run.boot_state (run_cfg ()) in
+  let l = Hyper.Ledger.capture st.Inject.Run.hv in
+  let zero = Hyper.Ledger.diff ~before:l ~after:l in
+  checkb "self-diff is leak-free" true (Hyper.Ledger.no_leak zero);
+  let leaky =
+    { zero with Hyper.Ledger.orphan_frames = 5; stale_frame_refs = 2 }
+  in
+  checki "pages sum orphans and stale refs" 7 (Hyper.Ledger.leaked_pages leaky);
+  checkb "leak fields non-empty" true (not (Hyper.Ledger.no_leak leaky));
+  (* A repair (negative delta) must not offset the page budget. *)
+  let repair = { zero with Hyper.Ledger.orphan_frames = -3 } in
+  checki "negative deltas clamp to zero" 0 (Hyper.Ledger.leaked_pages repair)
+
+(* ------------------------- Scenario driver -------------------------- *)
+
+(* Failstop with the full enhancement set: every cycle detects, recovers
+   cleanly, and (with undo journal + retries) leaks nothing. *)
+let test_scenario_failstop_survives () =
+  let cfg = endure_cfg ~cycles:4 () in
+  let sc = Endure.run_scenario cfg ~seed:5L in
+  checkb "survived" true (sc.Endure.sc_end = Endure.Survived);
+  checki "all cycles ran" 4 (List.length sc.Endure.sc_cycles);
+  List.iter
+    (fun cy ->
+      checkb "cycle detected and recovered" true
+        (cy.Endure.cy_class = Endure.Cycle_recovered);
+      checkb "recovery latency recorded" true (cy.Endure.cy_latency > 0);
+      checkb "repairs reported" true (cy.Endure.cy_repairs <> None);
+      checkb "cycle leak-free" true (Hyper.Ledger.no_leak cy.Endure.cy_leak))
+    sc.Endure.sc_cycles
+
+let test_scenario_rehype_survives () =
+  let cfg =
+    endure_cfg ~cycles:3 ~config:Hyper.Config.rehype
+      ~mech:Recovery.Engine.Rehype ()
+  in
+  let sc = Endure.run_scenario cfg ~seed:7L in
+  checkb "survived" true (sc.Endure.sc_end = Endure.Survived);
+  checki "all cycles ran" 3 (List.length sc.Endure.sc_cycles)
+
+let test_scenario_requires_mechanism () =
+  let cfg =
+    {
+      (endure_cfg ()) with
+      Endure.run_cfg =
+        { (run_cfg ()) with Inject.Run.mech = Inject.Run.No_recovery };
+    }
+  in
+  Alcotest.check_raises "no mechanism rejected"
+    (Invalid_argument "Endure.drive: endurance needs a recovery mechanism")
+    (fun () -> ignore (Endure.run_scenario cfg ~seed:1L))
+
+(* ------------------------- Aggregation ------------------------------ *)
+
+let snapshot_t =
+  Alcotest.testable Endure.pp_snapshot
+    (fun (a : Endure.snapshot) b -> a = b)
+
+let zero_diff () =
+  let st = Inject.Run.boot_state (run_cfg ()) in
+  let l = Hyper.Ledger.capture st.Inject.Run.hv in
+  Hyper.Ledger.diff ~before:l ~after:l
+
+let make_cycle ?(cls = Endure.Cycle_recovered) ~index leak =
+  {
+    Endure.cy_index = index;
+    cy_class = cls;
+    cy_detection = None;
+    cy_latent_trigger = false;
+    cy_latency = 1_000;
+    cy_leak = leak;
+    cy_leaked_pages = Hyper.Ledger.leaked_pages leak;
+    cy_repairs = None;
+  }
+
+let make_scenario ?(seed = 1L) ?(end_state = Endure.Survived)
+    ?(death_why = None) cycles =
+  {
+    Endure.sc_seed = seed;
+    sc_end = end_state;
+    sc_death_why = death_why;
+    sc_first_latent = None;
+    sc_cycles = cycles;
+  }
+
+let test_budget_accounting () =
+  let zero = zero_diff () in
+  let leaky =
+    { zero with Hyper.Ledger.orphan_frames = 5; stale_frame_refs = 2 }
+  in
+  let cfg = endure_cfg ~cycles:2 ~budget:(Some 4) () in
+  let t = Endure.make_totals ~cycles:2 in
+  Endure.add_scenario t cfg
+    (make_scenario [ make_cycle ~index:0 zero; make_cycle ~index:1 leaky ]);
+  checki "one budget violation (7 > 4)" 1 t.Endure.budget_violations;
+  checki "worst recovery recorded" 7 t.Endure.max_leaked_pages;
+  let leaks = Sim.Stats.Counts.sorted t.Endure.leaks in
+  checki "orphan frames attributed" 5 (List.assoc "orphan_frames" leaks);
+  checki "stale refs attributed" 2 (List.assoc "stale_frame_refs" leaks);
+  let t' = Endure.make_totals ~cycles:2 in
+  Endure.add_scenario t' (endure_cfg ~cycles:2 ~budget:(Some 7) ())
+    (make_scenario [ make_cycle ~index:0 zero; make_cycle ~index:1 leaky ]);
+  checki "no violation when within budget" 0 t'.Endure.budget_violations
+
+let test_merge_commutative () =
+  let zero = zero_diff () in
+  let leaky = { zero with Hyper.Ledger.orphan_frames = 3 } in
+  let cfg = endure_cfg ~cycles:2 ~budget:(Some 1) () in
+  let sc_a =
+    make_scenario ~seed:1L
+      [ make_cycle ~index:0 zero; make_cycle ~index:1 leaky ]
+  in
+  let sc_b =
+    make_scenario ~seed:2L ~end_state:(Endure.Died_at 1)
+      ~death_why:(Some "recovery_failed")
+      [
+        make_cycle ~index:0 leaky; make_cycle ~cls:Endure.Cycle_died ~index:1 zero;
+      ]
+  in
+  let build scs =
+    let t = Endure.make_totals ~cycles:2 in
+    List.iter (Endure.add_scenario t cfg) scs;
+    t
+  in
+  let ab = build [ sc_a ] and ba = build [ sc_b ] in
+  Endure.merge_into ab ba;
+  let ba' = build [ sc_b ] and ab' = build [ sc_a ] in
+  Endure.merge_into ba' ab';
+  Alcotest.check snapshot_t "merge is commutative" (Endure.snapshot ab)
+    (Endure.snapshot ba');
+  let direct = build [ sc_a; sc_b ] in
+  Alcotest.check snapshot_t "merge equals sequential accumulation"
+    (Endure.snapshot ab) (Endure.snapshot direct);
+  checki "death cause tallied" 1
+    (List.assoc "recovery_failed" (Sim.Stats.Counts.sorted direct.Endure.death_notes))
+
+(* The endurance campaign analogue of the parallel-campaign determinism
+   contract: survival curve, leak totals and metric snapshots are
+   bit-identical for any worker count. *)
+let test_campaign_parallel_deterministic () =
+  let cfg = endure_cfg ~fault:Inject.Fault.Register ~cycles:4 () in
+  let seq = Endure.run ~base_seed:300L ~jobs:1 ~scenarios:8 cfg in
+  let par =
+    Endure.run ~base_seed:300L ~jobs:4 ~oversubscribe:true ~scenarios:8 cfg
+  in
+  Alcotest.check snapshot_t "jobs=1 and jobs=4 identical"
+    (Endure.snapshot seq.Endure.totals)
+    (Endure.snapshot par.Endure.totals);
+  checki "scenarios counted" 8 seq.Endure.totals.Endure.scenarios;
+  checkb "survival curve well-formed" true
+    (Array.for_all
+       (fun (_, s, c) -> s >= 0.0 && s <= 1.0 && c >= 0.0 && c <= 1.0)
+       (Endure.survival_curve seq))
+
+(* ------------------------- Satellites ------------------------------- *)
+
+(* Satellite: the NMI-watchdog hang-detection period is a config field
+   threaded into detection-latency accounting. *)
+let test_watchdog_period_configurable () =
+  let base = Hyper.Config.nilihype in
+  checki "default: three 100 ms periods" (Sim.Time.ms 300)
+    (Hyper.Crash.detection_latency ~config:base (Hyper.Crash.Hang "wedged"));
+  let slow = { base with Hyper.Config.watchdog_period_ms = 250 } in
+  checki "250 ms period: three periods" (Sim.Time.ms 750)
+    (Hyper.Crash.detection_latency ~config:slow (Hyper.Crash.Hang "wedged"));
+  checki "panic latency unaffected" (Sim.Time.us 10)
+    (Hyper.Crash.detection_latency ~config:slow (Hyper.Crash.Panic "boom"))
+
+(* Satellite: audit violations land as per-kind counters, all registered
+   eagerly so metric snapshots are structurally stable. *)
+let test_audit_violation_counters () =
+  let clock = Sim.Clock.create () in
+  let hv =
+    Hyper.Hypervisor.boot ~mconfig:Hw.Machine.campaign_config
+      ~config:Hyper.Config.nilihype ~setup:Hyper.Hypervisor.Three_appvm clock
+  in
+  let snap0 = Obs.Recorder.metrics_snapshot hv.Hyper.Hypervisor.obs in
+  List.iter
+    (fun kind ->
+      checkb (Printf.sprintf "audit.%s registered at boot" kind) true
+        (List.mem_assoc ("audit." ^ kind) snap0.Obs.Metrics.counters))
+    Hyper.Hypervisor.audit_violation_kinds;
+  (* Leave a static lock held: the audit must flag it and the counter
+     must move. *)
+  Hyper.Spinlock.Segment.iter hv.Hyper.Hypervisor.static_segment (fun l ->
+      if l.Hyper.Spinlock.name = "console" then Hyper.Spinlock.acquire l ~cpu:0);
+  let report = Hyper.Hypervisor.audit hv in
+  checkb "audit not clean" false (Hyper.Hypervisor.audit_clean report);
+  Hyper.Hypervisor.record_audit_violations hv report;
+  let snap = Obs.Recorder.metrics_snapshot hv.Hyper.Hypervisor.obs in
+  checkb "static-locks counter incremented" true
+    (List.assoc "audit.static_locks_held" snap.Obs.Metrics.counters >= 1)
+
+let () =
+  Alcotest.run "endure"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "zero leak: fault-free workload (nilihype)" `Quick
+            (test_zero_leak_workload Hyper.Config.nilihype);
+          Alcotest.test_case "zero leak: fault-free workload (rehype)" `Quick
+            (test_zero_leak_workload Hyper.Config.rehype);
+          Alcotest.test_case "zero leak: healthy microreset" `Quick
+            (test_zero_leak_recovery
+               (Recovery.Engine.Nilihype, Hyper.Config.nilihype));
+          Alcotest.test_case "zero leak: healthy microreboot" `Quick
+            (test_zero_leak_recovery
+               (Recovery.Engine.Rehype, Hyper.Config.rehype));
+          Alcotest.test_case "reset-in-place ledger identical" `Quick
+            test_reset_in_place_ledger;
+          Alcotest.test_case "leaked pages clamp" `Quick test_leaked_pages_clamp;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "failstop scenario survives leak-free" `Slow
+            test_scenario_failstop_survives;
+          Alcotest.test_case "rehype scenario survives" `Slow
+            test_scenario_rehype_survives;
+          Alcotest.test_case "mechanism required" `Quick
+            test_scenario_requires_mechanism;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "budget accounting" `Quick test_budget_accounting;
+          Alcotest.test_case "merge commutative" `Quick test_merge_commutative;
+          Alcotest.test_case "jobs=1 vs jobs=4 identical" `Slow
+            test_campaign_parallel_deterministic;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "watchdog period configurable" `Quick
+            test_watchdog_period_configurable;
+          Alcotest.test_case "audit violation counters" `Quick
+            test_audit_violation_counters;
+        ] );
+    ]
