@@ -15,14 +15,16 @@ let json_out = ref "BENCH_campaign.json"
 let obs_out = ref "OBS_campaign.json"
 let scaling_out = ref "BENCH_scaling.json"
 let endurance_out = ref "BENCH_endurance.json"
+let alloc_out = ref "BENCH_alloc.json"
 let leak_budget = ref 8 (* max leaked pages per recovery in the smoke *)
 let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
+let max_words_per_run = ref 0.0 (* minor words/run ceiling in scaling; 0 = off *)
 
 let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 
 (* campaign_smoke and scaling are perf-tracking targets, not part of the
    paper reproduction, so they only run when named explicitly. *)
-let perf_sections = [ "campaign_smoke"; "scaling"; "endurance" ]
+let perf_sections = [ "campaign_smoke"; "scaling"; "endurance"; "alloc" ]
 
 let section name =
   if List.mem name perf_sections then List.mem name !sections
@@ -597,7 +599,146 @@ let scaling () =
             requested (speedup r) !min_speedup;
           exit 1
         end)
+      results;
+  if !max_words_per_run > 0.0 then
+    List.iter
+      (fun (requested, r) ->
+        if minor_per_run r > !max_words_per_run then begin
+          Format.printf
+            "FAIL: jobs=%d allocates %.0f minor words/run, above ceiling %.0f@."
+            requested (minor_per_run r) !max_words_per_run;
+          exit 1
+        end)
       results
+
+(* ------------------------------------------------------------------ *)
+(* Allocation attribution: where the minor words of one injection run   *)
+(* go, by phase (boot/workload/injection/detection/recovery/audit).     *)
+(* Checks that the phase attribution accounts for the whole-run          *)
+(* [Gc.minor_words] delta (within 5%) and that the [alloc.*] counters   *)
+(* merged into campaign totals are bit-identical for any --jobs value.  *)
+(* Written to BENCH_alloc.json.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let alloc () =
+  hr "Allocation attribution by run phase";
+  tune_gc_for_campaigns ();
+  let n = if !full then 1000 else 240 in
+  let base_seed = 90_000L in
+  let cfg =
+    {
+      Inject.Run.default_config with
+      Inject.Run.fault = Inject.Fault.Failstop;
+      setup = Inject.Run.Three_appvm;
+      mech = Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+      hv_config = Hyper.Config.nilihype;
+    }
+  in
+  (* Direct single-worker loop for the agreement check: the per-run
+     [alloc.*] counters are read back as plain ints after each run (the
+     worker reset zeroes them at the next rewind), so the loop adds
+     almost nothing outside the attributed window. *)
+  let recorder = Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error () in
+  Obs.Recorder.set_alloc_profiling recorder true;
+  let w = Inject.Run.prepare ~recorder cfg in
+  let phases = Obs.Recorder.alloc_phases in
+  let nphases = List.length phases in
+  let sums = Array.make nphases 0 in
+  let run_one i =
+    let seed = Int64.add base_seed (Int64.of_int i) in
+    ignore (Inject.Run.execute_into w { cfg with Inject.Run.seed })
+  in
+  (* Warm runs: first-touch growth of long-lived structures must not
+     pollute the steady-state attribution. *)
+  for i = 0 to 2 do
+    run_one i
+  done;
+  let gc_start = Gc.minor_words () in
+  for i = 0 to n - 1 do
+    run_one i;
+    List.iteri
+      (fun pi p -> sums.(pi) <- sums.(pi) + Obs.Recorder.alloc_words recorder p)
+      phases
+  done;
+  let gc_delta = Gc.minor_words () -. gc_start in
+  let attributed = float_of_int (Array.fold_left ( + ) 0 sums) in
+  let agreement = if gc_delta > 0.0 then attributed /. gc_delta else 0.0 in
+  let per_run words = float_of_int words /. float_of_int n in
+  List.iteri
+    (fun pi p ->
+      Format.printf "  %-10s %10.0f words/run@."
+        (Obs.Recorder.alloc_phase_name p)
+        (per_run sums.(pi)))
+    phases;
+  Format.printf
+    "  attributed %.0f of %.0f words/run (%.1f%% of the Gc.minor_words \
+     delta)@."
+    (attributed /. float_of_int n)
+    (gc_delta /. float_of_int n)
+    (100.0 *. agreement);
+  if agreement < 0.95 || agreement > 1.05 then
+    failwith "alloc: phase attribution disagrees with Gc.minor_words by >5%";
+  (* Jobs invariance: the merged [alloc.*] counters (and every other
+     metric) must be bit-identical whatever the worker count. The >1
+     points oversubscribe so multiple domains really run even on one
+     core. *)
+  let campaign jobs =
+    Inject.Campaign.run
+      ~label:(Printf.sprintf "alloc jobs=%d" jobs)
+      ~base_seed ~jobs ~oversubscribe:(jobs > 1) ~alloc_profile:true ~n cfg
+  in
+  let seq = campaign 1 in
+  let seq_snap = Inject.Campaign.snapshot seq.Inject.Campaign.totals in
+  List.iter
+    (fun jobs ->
+      let r = campaign jobs in
+      if Inject.Campaign.snapshot r.Inject.Campaign.totals <> seq_snap then
+        failwith
+          (Printf.sprintf "alloc: jobs=%d aggregate differs from jobs=1" jobs))
+    [ 2; 4 ];
+  (* The campaign path must attribute exactly what the direct loop saw:
+     same seeds, same runs, same counters. *)
+  let counter name =
+    match
+      List.assoc_opt name
+        seq.Inject.Campaign.totals.Inject.Campaign.metrics.Obs.Metrics.counters
+    with
+    | Some v -> v
+    | None -> 0
+  in
+  List.iteri
+    (fun pi p ->
+      let name = "alloc." ^ Obs.Recorder.alloc_phase_name p in
+      if counter name <> sums.(pi) then
+        failwith
+          (Printf.sprintf "alloc: campaign %s=%d differs from direct loop %d"
+             name (counter name) sums.(pi)))
+    phases;
+  Format.printf "alloc.* counters bit-identical for jobs=1,2,4 (n=%d)@." n;
+  let oc = open_out !alloc_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"alloc\",\n\
+    \  \"runs\": %d,\n\
+    \  \"words_per_run\": %.1f,\n\
+    \  \"gc_delta_words_per_run\": %.1f,\n\
+    \  \"agreement\": %.4f,\n\
+    \  \"jobs_invariant\": true,\n\
+    \  \"phases\": {\n%s\n  }\n\
+     }\n"
+    n
+    (attributed /. float_of_int n)
+    (gc_delta /. float_of_int n)
+    agreement
+    (String.concat ",\n"
+       (List.mapi
+          (fun pi p ->
+            Printf.sprintf "    \"%s\": %.1f"
+              (Obs.Recorder.alloc_phase_name p)
+              (per_run sums.(pi)))
+          phases));
+  close_out oc;
+  Format.printf "wrote %s@." !alloc_out
 
 (* ------------------------------------------------------------------ *)
 (* Endurance smoke: successive recoveries on ONE instance, with the     *)
@@ -680,6 +821,13 @@ let () =
       ( "--min-speedup",
         Arg.Set_float min_speedup,
         " fail the scaling sweep if jobs>1 throughput is below this x jobs=1" );
+      ( "--max-words-per-run",
+        Arg.Set_float max_words_per_run,
+        " fail the scaling sweep if any point allocates more minor words per \
+         run" );
+      ( "--alloc-out",
+        Arg.Set_string alloc_out,
+        " output path for the allocation-attribution JSON record" );
       ( "--endurance-out",
         Arg.Set_string endurance_out,
         " output path for the endurance smoke JSON record (nlh-endurance/1)" );
@@ -704,4 +852,5 @@ let () =
   if section "campaign_smoke" then campaign_smoke ();
   if section "scaling" then scaling ();
   if section "endurance" then endurance ();
+  if section "alloc" then alloc ();
   Format.printf "@.done.@."

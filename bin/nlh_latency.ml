@@ -5,9 +5,15 @@
 
      dune exec bin/nlh_latency.exe -- --mem-gb 32 --cpus 16 *)
 
+let minor_words_per_run (r : Inject.Campaign.result) =
+  let n = r.Inject.Campaign.totals.Inject.Campaign.runs in
+  if n > 0 then r.Inject.Campaign.minor_words /. float_of_int n else 0.0
+
 (* Empirical cross-check of the analytic model: measure the mean
    recovery latency observed across a failstop campaign (parallelised
-   over [jobs] domains). *)
+   over [jobs] domains), and report the campaign's allocation cost the
+   same way the bench sections do. Returns the campaign result so the
+   JSON export can include it. *)
 let empirical_latency ~runs ~jobs =
   let cfg =
     {
@@ -19,20 +25,63 @@ let empirical_latency ~runs ~jobs =
   let r = Inject.Campaign.run ~label:"latency" ~base_seed:42_000L ~jobs ~n:runs cfg in
   Format.printf
     "@.Empirical (campaign of %d failstop injections, jobs=%d, wall %.2fs, \
-     %.1f runs/s):@."
+     %.1f runs/s, %.0f minor words/run):@."
     runs r.Inject.Campaign.jobs r.Inject.Campaign.wall_seconds
-    (Inject.Campaign.runs_per_sec r);
-  match Inject.Campaign.mean_latency r with
+    (Inject.Campaign.runs_per_sec r)
+    (minor_words_per_run r);
+  (match Inject.Campaign.mean_latency r with
   | Some l ->
     Format.printf "  mean NiLiHype recovery latency over %d recoveries: %a@."
       r.Inject.Campaign.totals.Inject.Campaign.latency_samples Sim.Time.pp_float l
-  | None -> Format.printf "  no recovery latency samples recorded@."
+  | None -> Format.printf "  no recovery latency samples recorded@.");
+  r
+
+(* Hand-rolled like the bench records: schema [nlh-latency/1]. The
+   analytic Table II/III latencies plus, when --runs was given, the
+   empirical campaign cross-check with its words/run -- so latency
+   explorations are covered by the same allocation accounting as
+   campaigns. *)
+let write_json path ~mem_gb ~mconfig ~(nl : Recovery.Engine.outcome)
+    ~(re : Recovery.Engine.outcome) ~(empirical : Inject.Campaign.result option)
+    =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"nlh-latency/1\",\n";
+  Printf.fprintf oc "  \"tool\": \"nlh_latency\",\n";
+  Printf.fprintf oc "  \"mem_gb\": %d,\n  \"cpus\": %d,\n" mem_gb
+    mconfig.Hw.Machine.num_cpus;
+  Printf.fprintf oc "  \"nilihype_latency_ns\": %d,\n" nl.Recovery.Engine.latency;
+  Printf.fprintf oc "  \"rehype_latency_ns\": %d,\n" re.Recovery.Engine.latency;
+  Printf.fprintf oc "  \"rehype_over_nilihype\": %.2f" 
+    (float_of_int re.Recovery.Engine.latency
+    /. float_of_int nl.Recovery.Engine.latency);
+  (match empirical with
+  | None -> ()
+  | Some r ->
+    Printf.fprintf oc ",\n  \"empirical\": {\n";
+    Printf.fprintf oc "    \"runs\": %d,\n    \"jobs\": %d,\n"
+      r.Inject.Campaign.totals.Inject.Campaign.runs r.Inject.Campaign.jobs;
+    Printf.fprintf oc "    \"seconds\": %.3f,\n" r.Inject.Campaign.wall_seconds;
+    Printf.fprintf oc "    \"runs_per_sec\": %.1f,\n"
+      (Inject.Campaign.runs_per_sec r);
+    Printf.fprintf oc "    \"minor_words\": %.0f,\n"
+      r.Inject.Campaign.minor_words;
+    Printf.fprintf oc "    \"minor_words_per_run\": %.0f,\n"
+      (minor_words_per_run r);
+    (match Inject.Campaign.mean_latency r with
+    | Some l -> Printf.fprintf oc "    \"mean_recovery_latency_ns\": %.0f,\n" l
+    | None -> ());
+    Printf.fprintf oc "    \"latency_samples\": %d\n  }"
+      r.Inject.Campaign.totals.Inject.Campaign.latency_samples);
+  Printf.fprintf oc "\n}\n";
+  close_out oc;
+  Format.printf "latency report written to %s@." path
 
 let () =
   let mem_gb = ref 8 in
   let cpus = ref 8 in
   let runs = ref 0 in
   let jobs = ref 1 in
+  let json_out = ref "" in
   let spec =
     [
       ("--mem-gb", Arg.Set_int mem_gb, " host memory in GiB (default 8)");
@@ -43,6 +92,9 @@ let () =
       ( "--jobs",
         Arg.Set_int jobs,
         " parallel worker domains for --runs (0 = one per core; default 1)" );
+      ( "--json-out",
+        Arg.Set_string json_out,
+        " write the latency report (analytic + empirical) as JSON" );
     ]
     @ Obs_cli.arg_specs
   in
@@ -108,6 +160,12 @@ let () =
       "@.Note (Section VII-B): the page-frame scan grows linearly with \
        memory; the paper suggests parallelising it across cores or skipping \
        it at a ~4%% recovery-rate cost.@.";
-  if !runs > 0 then
-    empirical_latency ~runs:!runs
-      ~jobs:(if !jobs > 0 then !jobs else Inject.Pool.default_jobs ())
+  let empirical =
+    if !runs > 0 then
+      Some
+        (empirical_latency ~runs:!runs
+           ~jobs:(if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()))
+    else None
+  in
+  if !json_out <> "" then
+    write_json !json_out ~mem_gb:!mem_gb ~mconfig ~nl ~re ~empirical

@@ -533,7 +533,17 @@ type result = {
   totals : totals;
   jobs : int; (* worker domains actually used *)
   wall_seconds : float;
+  minor_words : float;
+      (* host minor-heap words allocated across all workers (per-domain
+         [Gc.minor_words] deltas, summed). Host-side accounting only, as
+         in {!Inject.Campaign}: NOT part of [totals], which stay
+         bit-identical across hosts and [jobs] values. *)
 }
+
+let minor_words_per_scenario r =
+  if r.totals.scenarios > 0 then
+    r.minor_words /. float_of_int r.totals.scenarios
+  else 0.0
 
 (* Survival curve point: fraction of scenarios still alive *after* each
    cycle index, plus that cycle's audit-clean rate among recoveries. *)
@@ -565,8 +575,10 @@ let mean_leak_pages_per_recovery r =
 let run ?(label = "") ?(base_seed = 77_000L) ?(jobs = 1) ?chunk
     ?(oversubscribe = false) ~scenarios (cfg : config) =
   let t0 = Unix.gettimeofday () in
-  let init () = (make_totals ~cycles:cfg.cycles, ref None) in
-  let body (totals, worker) i =
+  let init () =
+    (make_totals ~cycles:cfg.cycles, ref None, Gc.minor_words (), ref 0.0)
+  in
+  let body (totals, worker, _, _) i =
     let seed = Int64.add base_seed (Int64.of_int i) in
     let w =
       match !worker with
@@ -587,11 +599,16 @@ let run ?(label = "") ?(base_seed = 77_000L) ?(jobs = 1) ?chunk
       Obs.Metrics.merge_snapshots totals.metrics
         (Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w))
   in
-  let totals, _ =
+  let totals, _, _, minor_words =
     Inject.Pool.map_reduce ~jobs ?chunk ~oversubscribe ~n:scenarios ~init ~body
-      ~merge:(fun (a, wa) (b, _) ->
+      ~finish:(fun (_, _, minor_start, minor_words) ->
+        (* [Gc.minor_words] is per-domain in OCaml 5: take the delta in
+           the worker's own domain. *)
+        minor_words := Gc.minor_words () -. minor_start)
+      ~merge:(fun (a, wa, sa, mwa) (b, _, _, mwb) ->
         merge_into a b;
-        (a, wa))
+        mwa := !mwa +. !mwb;
+        (a, wa, sa, mwa))
       ()
   in
   let used_jobs =
@@ -604,6 +621,7 @@ let run ?(label = "") ?(base_seed = 77_000L) ?(jobs = 1) ?chunk
     totals;
     jobs = used_jobs;
     wall_seconds = Unix.gettimeofday () -. t0;
+    minor_words = !minor_words;
   }
 
 let pp fmt r =
@@ -643,6 +661,9 @@ let write_json oc ?(meta = []) r =
   Printf.fprintf oc "  \"jobs\": %d,\n  \"cores\": %d,\n" r.jobs
     (Inject.Pool.default_jobs ());
   Printf.fprintf oc "  \"seconds\": %.3f,\n" r.wall_seconds;
+  Printf.fprintf oc "  \"minor_words\": %.0f,\n" r.minor_words;
+  Printf.fprintf oc "  \"minor_words_per_scenario\": %.0f,\n"
+    (minor_words_per_scenario r);
   Printf.fprintf oc
     "  \"survived\": %d,\n  \"died\": %d,\n  \"latent_scenarios\": %d,\n"
     t.survived t.deaths t.latent_scenarios;

@@ -26,6 +26,10 @@ type t = {
       (* NMI-watchdog tick period; a hang is detected after
          [watchdog_hang_periods] missed ticks, so this sets the hang
          detection latency (endurance runs sweep it) *)
+  max_hypercall_subops : int;
+      (* ABI limit on batched sub-operations per hypercall (PTE writes in
+         an mmu_update, map/unmap pairs in a grant_table_op); sizes the
+         hypervisor's interned step-name tables at create time *)
 }
 
 (* The watchdog declares a hang after this many consecutive missed
@@ -43,6 +47,7 @@ let stock =
     ioapic_write_logging = false;
     bootline_logging = false;
     watchdog_period_ms = 100;
+    max_hypercall_subops = 8;
   }
 
 let nilihype =
@@ -54,6 +59,7 @@ let nilihype =
     ioapic_write_logging = false;
     bootline_logging = false;
     watchdog_period_ms = 100;
+    max_hypercall_subops = 8;
   }
 
 (* NiLiHype* in Figure 3: the logging turned off. *)

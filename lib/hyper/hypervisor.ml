@@ -26,13 +26,6 @@ let activity_name = function
   | Context_switch c -> Printf.sprintf "ctx_switch(cpu%d)" c
   | Idle_poll c -> Printf.sprintf "idle(cpu%d)" c
 
-type step_ctx = {
-  activity : activity;
-  step_index : int;
-  step_name : string;
-  cpu : int;
-}
-
 (* Raised by [execute_partial]'s stepper to abandon an activity at a
    given step, modelling work in flight on other CPUs at detection. *)
 exception Abandoned
@@ -60,8 +53,29 @@ type t = {
   mutable static_data_note : string;
   mutable recovery_handler_ok : bool;
   mutable bootline_ok : bool; (* boot options usable for a re-boot *)
-  mutable step_hook : (t -> step_ctx -> unit) option;
+  mutable step_hook : (t -> activity -> int -> string -> int -> unit) option;
+      (* called per micro-step with (hv, activity, step_index, step_name,
+         cpu); plain arguments, so observing a step allocates nothing *)
   need_resched_flags : bool array;
+  (* The activity the stepper is currently executing. Mutable fields on
+     [t] rather than a per-activity stepper closure: [execute] runs one
+     activity at a time, and threading the context this way keeps the
+     per-step and per-activity cost allocation-free. *)
+  mutable cur_activity : activity;
+  mutable cur_cpu : int;
+  mutable cur_step : int;
+  (* Names for the indexed hot-path steps, computed once per instance and
+     sized from [Config.max_hypercall_subops]: formatting them with
+     sprintf on every loop iteration was a measurable share of per-run
+     allocation. Indices past the ABI limit fall back to sprintf. *)
+  mutable pte_write_names : string array;
+  mutable grant_map_names : string array;
+  mutable ring_io_names : string array;
+  mutable grant_unmap_names : string array;
+  (* [audit.*] counters in [audit_violation_kinds] order, resolved once
+     at [create] so bumping one needs no name concatenation or registry
+     lookup. *)
+  audit_counters : Obs.Metrics.counter array;
 }
 
 let cpu_count t = Hw.Machine.num_cpus t.machine
@@ -120,6 +134,9 @@ let audit_violation_kinds =
 let audit_counter obs kind =
   Obs.Metrics.counter obs.Obs.Recorder.metrics ("audit." ^ kind)
 
+let indexed_names prefix n =
+  Array.init (n + 1) (fun i -> Printf.sprintf "%s%d" prefix i)
+
 let create ?(mconfig = Hw.Machine.default_config) ?obs ~config clock =
   let machine = Hw.Machine.create ~config:mconfig clock in
   let obs =
@@ -164,10 +181,19 @@ let create ?(mconfig = Hw.Machine.default_config) ?obs ~config clock =
       bootline_ok = true;
       step_hook = None;
       need_resched_flags = Array.make num_cpus false;
+      cur_activity = Idle_poll 0;
+      cur_cpu = 0;
+      cur_step = 0;
+      pte_write_names = indexed_names "pte_write_" config.Config.max_hypercall_subops;
+      grant_map_names = indexed_names "grant_map_" config.Config.max_hypercall_subops;
+      ring_io_names = indexed_names "ring_io_" config.Config.max_hypercall_subops;
+      grant_unmap_names =
+        indexed_names "grant_unmap_" config.Config.max_hypercall_subops;
+      audit_counters =
+        Array.of_list (List.map (audit_counter obs) audit_violation_kinds);
     }
   in
   Hw.Ioapic.set_logging machine.Hw.Machine.ioapic config.Config.ioapic_write_logging;
-  List.iter (fun kind -> ignore (audit_counter obs kind)) audit_violation_kinds;
   t
 
 (* Record a typed event against the hypervisor's recorder at the current
@@ -388,6 +414,19 @@ let reboot_in_place t ~config ~setup ~vcpus_per_cpu =
   t.recovery_handler_ok <- true;
   t.bootline_ok <- true;
   t.step_hook <- None;
+  (* The indexed-name tables depend only on the ABI sub-op limit: rebuild
+     them only if a config swap changed it, so steady-state reuse keeps
+     the interned names. *)
+  if Array.length t.pte_write_names <> config.Config.max_hypercall_subops + 1
+  then begin
+    t.pte_write_names <-
+      indexed_names "pte_write_" config.Config.max_hypercall_subops;
+    t.grant_map_names <-
+      indexed_names "grant_map_" config.Config.max_hypercall_subops;
+    t.ring_io_names <- indexed_names "ring_io_" config.Config.max_hypercall_subops;
+    t.grant_unmap_names <-
+      indexed_names "grant_unmap_" config.Config.max_hypercall_subops
+  end;
   Hw.Ioapic.set_logging t.machine.Hw.Machine.ioapic
     config.Config.ioapic_write_logging;
   boot_target t ~setup ~vcpus_per_cpu
@@ -396,32 +435,52 @@ let reboot_in_place t ~config ~setup ~vcpus_per_cpu =
 (* The stepper: instrumented micro-step execution                      *)
 (* ------------------------------------------------------------------ *)
 
-type stepper = { run : 'a. ?cycles:int -> string -> (unit -> 'a) -> 'a }
-
 let cycles_to_ns cycles = (cycles / 3) + 1 (* ~2.9 GHz *)
 
-let make_stepper t activity cpu =
-  let idx = ref 0 in
-  let run : type a. ?cycles:int -> string -> (unit -> a) -> a =
-   fun ?(cycles = 150) step_name f ->
-    let step_index = !idx in
-    incr idx;
-    Cycle_account.charge t.cycles cycles;
-    Hw.Cpu.charge_cycles (Hw.Machine.cpu t.machine cpu) cycles;
-    Sim.Clock.advance_by t.clock (cycles_to_ns cycles);
-    (match t.step_hook with
-    | Some hook -> hook t { activity; step_index; step_name; cpu }
-    | None -> ());
-    f ()
-  in
-  { run }
+(* Enter an activity: every [step] until the next [begin_activity] is
+   accounted against it. *)
+let begin_activity t activity cpu =
+  t.cur_activity <- activity;
+  t.cur_cpu <- cpu;
+  t.cur_step <- 0
+
+(* One instrumented micro-step: charge the cycles, advance the clock and
+   let the step hook observe (and possibly abandon or corrupt) the
+   execution, then the caller runs the step's body inline. Accounting
+   *precedes* the body, so a hook that raises [Abandoned] stops the
+   activity with that step's effects not yet applied -- the same contract
+   the previous closure-passing stepper had, minus the per-step closure
+   and context-record allocations. *)
+let step ?(cycles = 150) t step_name =
+  let step_index = t.cur_step in
+  t.cur_step <- step_index + 1;
+  (* The cycle/clock charges are record-field updates written out inline:
+     this runs ~18k times per injection run and, without flambda, each of
+     the equivalent cross-module calls (Cycle_account.charge,
+     Hw.Cpu.charge_cycles, Sim.Clock.advance_by) costs more than the add
+     it performs. [cycles_to_ns] is always positive, so bypassing
+     Clock.advance_by's negative-delta check loses nothing. *)
+  let cyc = t.cycles in
+  cyc.Cycle_account.total <- cyc.Cycle_account.total + cycles;
+  let cpu = t.machine.Hw.Machine.cpus.(t.cur_cpu) in
+  cpu.Hw.Cpu.unhalted_cycles <- cpu.Hw.Cpu.unhalted_cycles + cycles;
+  let clk = t.clock in
+  clk.Sim.Clock.now <- clk.Sim.Clock.now + cycles_to_ns cycles;
+  match t.step_hook with
+  | Some hook -> hook t t.cur_activity step_index step_name t.cur_cpu
+  | None -> ()
 
 (* Journal append helper: charges the logging cycles that produce the
-   Figure 3 overhead. *)
+   Figure 3 overhead. Same inlined field updates as [step]: the journal
+   write path runs a few thousand times per run. *)
 let journal_log t (journal : Journal.t) entry =
   if journal.Journal.enabled then begin
-    Cycle_account.charge_logging t.cycles Journal.cycles_per_write;
-    Sim.Clock.advance_by t.clock (cycles_to_ns Journal.cycles_per_write);
+    let cyc = t.cycles in
+    cyc.Cycle_account.total <- cyc.Cycle_account.total + Journal.cycles_per_write;
+    cyc.Cycle_account.logging <-
+      cyc.Cycle_account.logging + Journal.cycles_per_write;
+    let clk = t.clock in
+    clk.Sim.Clock.now <- clk.Sim.Clock.now + cycles_to_ns Journal.cycles_per_write;
     Obs.Metrics.incr t.obs.Obs.Recorder.journal_writes;
     if Obs.Recorder.enabled t.obs Obs.Event.Debug then
       observe t Obs.Event.Debug
@@ -434,62 +493,79 @@ let journal_log t (journal : Journal.t) entry =
 (* Hypercall handlers                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Names for the indexed hot-path steps, computed once: formatting them
-   with sprintf on every loop iteration was a measurable share of per-run
-   allocation. The tables cover the sub-op counts the activity mix
-   actually generates; larger indices fall back to sprintf. *)
-let indexed_names prefix = Array.init 9 (fun i -> Printf.sprintf "%s%d" prefix i)
-
-let pte_write_names = indexed_names "pte_write_"
-let grant_map_names = indexed_names "grant_map_"
-let ring_io_names = indexed_names "ring_io_"
-let grant_unmap_names = indexed_names "grant_unmap_"
-
 let indexed_name table prefix i =
   if i < Array.length table then table.(i) else Printf.sprintf "%s%d" prefix i
 
+(* Random-element selection over filtered collections, as two passes
+   (count, then walk to the k-th match) instead of materialising the
+   filtered list. The single [Rng.int] draw is over the same bound as
+   before, so the streams -- and the chosen elements -- are identical. *)
+let rec count_writable t acc = function
+  | [] -> acc
+  | f :: rest ->
+    count_writable t
+      (if (Pfn.get t.pfn f).Pfn.ptype = Pfn.Writable then acc + 1 else acc)
+      rest
+
+let rec nth_writable t k = function
+  | [] -> -1 (* unreachable: k < count_writable *)
+  | f :: rest ->
+    if (Pfn.get t.pfn f).Pfn.ptype = Pfn.Writable then
+      if k = 0 then f else nth_writable t (k - 1) rest
+    else nth_writable t k rest
+
 let pick_writable_frame t rng (dom : Domain.t) =
-  let candidates =
-    List.filter
-      (fun f -> (Pfn.get t.pfn f).Pfn.ptype = Pfn.Writable)
-      dom.Domain.owned_frames
-  in
-  match candidates with
-  | [] -> None
-  | l -> Some (List.nth l (Sim.Rng.int rng (List.length l)))
+  match count_writable t 0 dom.Domain.owned_frames with
+  | 0 -> None
+  | n -> Some (nth_writable t (Sim.Rng.int rng n) dom.Domain.owned_frames)
+
+(* Whether [f] backs an in-use grant entry (the membership test formerly
+   done against a freshly built list of granted frames). *)
+let rec frame_granted (entries : Grant.entry array) f i =
+  i < Array.length entries
+  && ((entries.(i).Grant.in_use && entries.(i).Grant.frame = f)
+     || frame_granted entries f (i + 1))
+
+let rec count_free_grant_slots (entries : Grant.entry array) acc i =
+  if i >= Array.length entries then acc
+  else
+    count_free_grant_slots entries
+      (if entries.(i).Grant.in_use && entries.(i).Grant.mapped_by = -1 then
+         acc + 1
+       else acc)
+      (i + 1)
+
+let rec nth_free_grant_slot (entries : Grant.entry array) k i =
+  let e = entries.(i) in
+  if e.Grant.in_use && e.Grant.mapped_by = -1 then
+    if k = 0 then e else nth_free_grant_slot entries (k - 1) (i + 1)
+  else nth_free_grant_slot entries k (i + 1)
 
 (* mmu_update: pin a fresh frame as a page table (get ref, write PTEs,
    validate) and unpin an old one. The validate/commit gap is the
    non-idempotent retry hazard of Section IV; code reordering moves the
    critical updates as late as possible, the undo journal makes them
    reversible. *)
-let exec_mmu_update t (s : stepper) journal (dom : Domain.t)
-    (record : Hypercalls.record) ~entries =
-  s.run "lock_page_alloc" (fun () ->
-      Spinlock.acquire dom.Domain.page_lock ~cpu:0);
+let exec_mmu_update t journal (dom : Domain.t) (record : Hypercalls.record)
+    ~entries =
+  step t "lock_page_alloc";
+  Spinlock.acquire dom.Domain.page_lock ~cpu:0;
   let target, old_frame =
     match record.Hypercalls.target_frames with
     | f :: rest ->
       (Pfn.get t.pfn f, match rest with o :: _ -> Some o | [] -> None)
     | [] ->
-      let d =
-        s.run "alloc_frame" (fun () ->
-            Pfn.alloc_frame t.pfn ~owner:dom.Domain.domid ~ptype:Pfn.Page_table)
-      in
+      step t "alloc_frame";
+      let d = Pfn.alloc_frame t.pfn ~owner:dom.Domain.domid ~ptype:Pfn.Page_table in
       (* The table being replaced: a currently pinned page-table frame
          (not one backing a grant entry). *)
-      let granted =
-        Array.to_list dom.Domain.grants.Grant.entries
-        |> List.filter_map (fun e ->
-               if e.Grant.in_use then Some e.Grant.frame else None)
-      in
       let old_frame =
         List.find_opt
           (fun f ->
             let o = Pfn.get t.pfn f in
             o.Pfn.ptype = Pfn.Page_table && o.Pfn.validated
             && f <> d.Pfn.index
-            && not (List.mem f granted))
+            && not (frame_granted dom.Domain.grants.Grant.entries f 0))
           dom.Domain.owned_frames
       in
       record.Hypercalls.target_frames <-
@@ -508,19 +584,19 @@ let exec_mmu_update t (s : stepper) journal (dom : Domain.t)
   (match old_frame with
   | Some o ->
     let od = Pfn.get t.pfn o in
-    s.run "unpin_old_table" (fun () ->
-        if od.Pfn.validated then begin
-          journal_log t journal (Journal.Validated_cleared od);
-          Pfn.invalidate od;
-          journal_log t journal (Journal.Type_change (od, od.Pfn.ptype));
-          journal_log t journal (Journal.Owner_change (od, od.Pfn.owner));
-          journal_log t journal (Journal.Use_count_delta (od, -1));
-          Pfn.put_page od;
-          if od.Pfn.use_count > 0 then od.Pfn.ptype <- Pfn.Writable
-        end
-        else
-          (* Retry without undo: double unpin. *)
-          Pfn.invalidate od)
+    step t "unpin_old_table";
+    if od.Pfn.validated then begin
+      journal_log t journal (Journal.Validated_cleared od);
+      Pfn.invalidate od;
+      journal_log t journal (Journal.Type_change (od, od.Pfn.ptype));
+      journal_log t journal (Journal.Owner_change (od, od.Pfn.owner));
+      journal_log t journal (Journal.Use_count_delta (od, -1));
+      Pfn.put_page od;
+      if od.Pfn.use_count > 0 then od.Pfn.ptype <- Pfn.Writable
+    end
+    else
+      (* Retry without undo: double unpin. *)
+      Pfn.invalidate od
   | None -> ());
   (* Retrying with the same target: if the first execution already
      validated it and nothing undid that, [Pfn.validate] panics -- the
@@ -528,30 +604,31 @@ let exec_mmu_update t (s : stepper) journal (dom : Domain.t)
      reordering (when this handler is among the enhanced ones) moves the
      critical update to the end, shrinking the window. *)
   if not (t.config.Config.code_reordering && record.Hypercalls.enhanced) then begin
-    s.run "validate_early" (fun () ->
-        if not target.Pfn.validated then begin
-          journal_log t journal (Journal.Validated_set target);
-          Pfn.validate target
-        end
-        else Pfn.validate target (* panics: double validation *))
+    step t "validate_early";
+    if not target.Pfn.validated then begin
+      journal_log t journal (Journal.Validated_set target);
+      Pfn.validate target
+    end
+    else Pfn.validate target (* panics: double validation *)
   end;
   for i = 1 to entries do
-    s.run (indexed_name pte_write_names "pte_write_" i) ~cycles:120 (fun () -> ())
+    step ~cycles:120 t (indexed_name t.pte_write_names "pte_write_" i)
   done;
-  s.run "get_page_ref" (fun () ->
-      journal_log t journal (Journal.Use_count_delta (target, 1));
-      Pfn.get_page target);
-  if t.config.Config.code_reordering && record.Hypercalls.enhanced then
-    s.run "validate_late" (fun () ->
-        if not target.Pfn.validated then begin
-          journal_log t journal (Journal.Validated_set target);
-          Pfn.validate target
-        end
-        else Pfn.validate target);
-  s.run "unlock_page_alloc" (fun () ->
-      Spinlock.release dom.Domain.page_lock ~cpu:0)
+  step t "get_page_ref";
+  journal_log t journal (Journal.Use_count_delta (target, 1));
+  Pfn.get_page target;
+  if t.config.Config.code_reordering && record.Hypercalls.enhanced then begin
+    step t "validate_late";
+    if not target.Pfn.validated then begin
+      journal_log t journal (Journal.Validated_set target);
+      Pfn.validate target
+    end
+    else Pfn.validate target
+  end;
+  step t "unlock_page_alloc";
+  Spinlock.release dom.Domain.page_lock ~cpu:0
 
-let exec_update_va_mapping t (s : stepper) rng journal (dom : Domain.t)
+let exec_update_va_mapping t rng journal (dom : Domain.t)
     (record : Hypercalls.record) =
   let frame =
     match record.Hypercalls.target_frames with
@@ -567,38 +644,35 @@ let exec_update_va_mapping t (s : stepper) rng journal (dom : Domain.t)
   | None -> ()
   | Some f ->
     let d = Pfn.get t.pfn f in
-    s.run "get_page" (fun () ->
-        journal_log t journal (Journal.Use_count_delta (d, 1));
-        Pfn.get_page d);
-    s.run "write_pte" ~cycles:100 (fun () -> ());
-    s.run "flush_tlb" ~cycles:200 (fun () -> ());
-    s.run "put_page" (fun () ->
-        journal_log t journal (Journal.Use_count_delta (d, -1));
-        Pfn.put_page d)
+    step t "get_page";
+    journal_log t journal (Journal.Use_count_delta (d, 1));
+    Pfn.get_page d;
+    step ~cycles:100 t "write_pte";
+    step ~cycles:200 t "flush_tlb";
+    step t "put_page";
+    journal_log t journal (Journal.Use_count_delta (d, -1));
+    Pfn.put_page d
 
-let exec_memory_op_populate t (s : stepper) journal (dom : Domain.t)
+let exec_memory_op_populate t journal (dom : Domain.t)
     (record : Hypercalls.record) =
   for i = 1 to 2 do
     ignore i;
     (* The buddy-allocator critical section under the static heap lock is
        short: acquire and release within the allocation step. *)
-    let d =
-      s.run "alloc_frame" (fun () ->
-          Spinlock.acquire t.global_heap_lock ~cpu:0;
-          let d = Pfn.alloc_frame t.pfn ~owner:dom.Domain.domid ~ptype:Pfn.Writable in
-          Spinlock.release t.global_heap_lock ~cpu:0;
-          d)
-    in
+    step t "alloc_frame";
+    Spinlock.acquire t.global_heap_lock ~cpu:0;
+    let d = Pfn.alloc_frame t.pfn ~owner:dom.Domain.domid ~ptype:Pfn.Writable in
+    Spinlock.release t.global_heap_lock ~cpu:0;
     journal_log t journal
       (Journal.Undo_fn
          (fun () ->
            if d.Pfn.use_count > 0 then Pfn.put_page d));
     record.Hypercalls.fresh_frames <- d.Pfn.index :: record.Hypercalls.fresh_frames;
-    s.run "assign_page" (fun () ->
-        dom.Domain.owned_frames <- d.Pfn.index :: dom.Domain.owned_frames)
+    step t "assign_page";
+    dom.Domain.owned_frames <- d.Pfn.index :: dom.Domain.owned_frames
   done
 
-let exec_memory_op_decrease t (s : stepper) rng journal (dom : Domain.t)
+let exec_memory_op_decrease t rng journal (dom : Domain.t)
     (record : Hypercalls.record) =
   (match record.Hypercalls.target_frames with
   | [] ->
@@ -611,31 +685,29 @@ let exec_memory_op_decrease t (s : stepper) rng journal (dom : Domain.t)
   | f :: _ ->
     let d = Pfn.get t.pfn f in
     (* Double execution without undo double-puts the frame: underflow. *)
-    s.run "put_page" (fun () ->
-        journal_log t journal (Journal.Type_change (d, d.Pfn.ptype));
-        journal_log t journal (Journal.Owner_change (d, d.Pfn.owner));
-        journal_log t journal (Journal.Use_count_delta (d, -1));
-        Spinlock.acquire t.global_heap_lock ~cpu:0;
-        Pfn.put_page d;
-        Spinlock.release t.global_heap_lock ~cpu:0);
-    s.run "remove_from_domain" (fun () ->
-        dom.Domain.owned_frames <-
-          List.filter (fun f' -> f' <> f) dom.Domain.owned_frames)
+    step t "put_page";
+    journal_log t journal (Journal.Type_change (d, d.Pfn.ptype));
+    journal_log t journal (Journal.Owner_change (d, d.Pfn.owner));
+    journal_log t journal (Journal.Use_count_delta (d, -1));
+    Spinlock.acquire t.global_heap_lock ~cpu:0;
+    Pfn.put_page d;
+    Spinlock.release t.global_heap_lock ~cpu:0;
+    step t "remove_from_domain";
+    dom.Domain.owned_frames <-
+      List.filter (fun f' -> f' <> f) dom.Domain.owned_frames
 
-let exec_grant_table_op t (s : stepper) rng journal (dom : Domain.t)
+let exec_grant_table_op t rng journal (dom : Domain.t)
     (record : Hypercalls.record) ~subops =
-  s.run "lock_grant" (fun () -> Spinlock.acquire dom.Domain.grants.Grant.lock ~cpu:0);
+  step t "lock_grant";
+  Spinlock.acquire dom.Domain.grants.Grant.lock ~cpu:0;
   (match record.Hypercalls.target_frames with
-  | [] ->
+  | [] -> (
     (* Map then unmap a granted frame per sub-op pair. *)
-    let slots =
-      Array.to_list dom.Domain.grants.Grant.entries
-      |> List.filter (fun e -> e.Grant.in_use && e.Grant.mapped_by = -1)
-    in
-    (match slots with
-    | [] -> ()
-    | l ->
-      let e = List.nth l (Sim.Rng.int rng (List.length l)) in
+    let entries = dom.Domain.grants.Grant.entries in
+    match count_free_grant_slots entries 0 0 with
+    | 0 -> ()
+    | n ->
+      let e = nth_free_grant_slot entries (Sim.Rng.int rng n) 0 in
       record.Hypercalls.target_frames <- [ e.Grant.slot ])
   | _ -> ());
   (match record.Hypercalls.target_frames with
@@ -645,42 +717,44 @@ let exec_grant_table_op t (s : stepper) rng journal (dom : Domain.t)
       let frame_desc =
         if e.Grant.frame >= 0 then Some (Pfn.get t.pfn e.Grant.frame) else None
       in
-      s.run (indexed_name grant_map_names "grant_map_" i) (fun () ->
-          (* Retrying a completed map panics ("already mapped") unless
-             the undo log reverted it. *)
-          journal_log t journal
-            (Journal.Undo_fn (fun () -> if e.Grant.mapped_by <> -1 then e.Grant.mapped_by <- -1));
-          Grant.map dom.Domain.grants ~slot ~by:0;
-          match frame_desc with
-          | Some d ->
-            journal_log t journal (Journal.Use_count_delta (d, 1));
-            Pfn.get_page d
-          | None -> ());
-      s.run (indexed_name ring_io_names "ring_io_" i) ~cycles:400 (fun () -> ());
-      s.run (indexed_name grant_unmap_names "grant_unmap_" i) (fun () ->
-          journal_log t journal
-            (Journal.Undo_fn (fun () -> if e.Grant.mapped_by = -1 then e.Grant.mapped_by <- 0));
-          Grant.unmap dom.Domain.grants ~slot;
-          match frame_desc with
-          | Some d ->
-            journal_log t journal (Journal.Use_count_delta (d, -1));
-            Pfn.put_page d
-          | None -> ())
+      step t (indexed_name t.grant_map_names "grant_map_" i);
+      (* Retrying a completed map panics ("already mapped") unless the
+         undo log reverted it. *)
+      journal_log t journal
+        (Journal.Undo_fn (fun () -> if e.Grant.mapped_by <> -1 then e.Grant.mapped_by <- -1));
+      Grant.map dom.Domain.grants ~slot ~by:0;
+      (match frame_desc with
+      | Some d ->
+        journal_log t journal (Journal.Use_count_delta (d, 1));
+        Pfn.get_page d
+      | None -> ());
+      step ~cycles:400 t (indexed_name t.ring_io_names "ring_io_" i);
+      step t (indexed_name t.grant_unmap_names "grant_unmap_" i);
+      journal_log t journal
+        (Journal.Undo_fn (fun () -> if e.Grant.mapped_by = -1 then e.Grant.mapped_by <- 0));
+      Grant.unmap dom.Domain.grants ~slot;
+      match frame_desc with
+      | Some d ->
+        journal_log t journal (Journal.Use_count_delta (d, -1));
+        Pfn.put_page d
+      | None -> ()
     done
   | [] -> ());
-  s.run "unlock_grant" (fun () ->
-      Spinlock.release dom.Domain.grants.Grant.lock ~cpu:0)
+  step t "unlock_grant";
+  Spinlock.release dom.Domain.grants.Grant.lock ~cpu:0
 
-let exec_evtchn_send t (s : stepper) (dom : Domain.t) =
-  s.run "lock_evtchn" (fun () -> Spinlock.acquire dom.Domain.evtchn.Evtchn.lock ~cpu:0);
-  s.run "set_pending" (fun () -> Evtchn.send dom.Domain.evtchn ~port:1);
-  s.run "unlock_evtchn" (fun () ->
-      Spinlock.release dom.Domain.evtchn.Evtchn.lock ~cpu:0);
-  ignore t
+let exec_evtchn_send t (dom : Domain.t) =
+  step t "lock_evtchn";
+  Spinlock.acquire dom.Domain.evtchn.Evtchn.lock ~cpu:0;
+  step t "set_pending";
+  Evtchn.send dom.Domain.evtchn ~port:1;
+  step t "unlock_evtchn";
+  Spinlock.release dom.Domain.evtchn.Evtchn.lock ~cpu:0
 
-let exec_sched_op_block t (s : stepper) cpu (vcpu : Domain.vcpu) =
+let exec_sched_op_block t cpu (vcpu : Domain.vcpu) =
   let percpu = t.percpu.(cpu) in
-  s.run "lock_sched" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
+  step t "lock_sched";
+  Spinlock.acquire percpu.Percpu.heap_lock ~cpu;
   (* A guest can only block the vCPU that is actually executing. *)
   let is_current =
     match Sched.current t.sched ~cpu with
@@ -688,70 +762,91 @@ let exec_sched_op_block t (s : stepper) cpu (vcpu : Domain.vcpu) =
     | None -> false
   in
   if is_current then begin
-    s.run "set_blocked" (fun () -> vcpu.Domain.runstate <- Domain.Blocked);
-    s.run "clear_percpu_curr" (fun () ->
-        Sched.set_current t.sched ~cpu None;
-        percpu.Percpu.curr_domid <- -1;
-        percpu.Percpu.curr_vcpuid <- -1);
-    s.run "clear_vcpu_current" (fun () -> Sched.vcpu_clear_current vcpu);
+    step t "set_blocked";
+    vcpu.Domain.runstate <- Domain.Blocked;
+    step t "clear_percpu_curr";
+    Sched.set_current t.sched ~cpu None;
+    percpu.Percpu.curr_domid <- -1;
+    percpu.Percpu.curr_vcpuid <- -1;
+    step t "clear_vcpu_current";
+    Sched.vcpu_clear_current vcpu;
     (* Pick someone else to run, if anyone is queued. *)
-    (match s.run "pick_next" (fun () -> Sched.dequeue t.sched ~cpu) with
+    step t "pick_next";
+    (match Sched.dequeue t.sched ~cpu with
     | Some next ->
-      s.run "set_next_current" (fun () ->
-          Sched.set_current t.sched ~cpu (Some next);
-          percpu.Percpu.curr_domid <- next.Domain.domid;
-          percpu.Percpu.curr_vcpuid <- next.Domain.vid);
-      s.run "mark_next" (fun () -> Sched.vcpu_mark_current next ~cpu)
+      step t "set_next_current";
+      Sched.set_current t.sched ~cpu (Some next);
+      percpu.Percpu.curr_domid <- next.Domain.domid;
+      percpu.Percpu.curr_vcpuid <- next.Domain.vid;
+      step t "mark_next";
+      Sched.vcpu_mark_current next ~cpu
     | None -> ());
     (* The event the guest blocked on arrives shortly (I/O completion):
        requeue the vCPU as runnable. *)
-    s.run "arrange_wakeup" (fun () ->
-        if vcpu.Domain.runstate = Domain.Blocked then Sched.enqueue t.sched vcpu)
+    step t "arrange_wakeup";
+    if vcpu.Domain.runstate = Domain.Blocked then Sched.enqueue t.sched vcpu
   end
-  else s.run "poll_pending_events" ~cycles:80 (fun () -> ());
-  s.run "unlock_sched" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu)
+  else step ~cycles:80 t "poll_pending_events";
+  step t "unlock_sched";
+  Spinlock.release percpu.Percpu.heap_lock ~cpu
 
-let exec_set_timer_op t (s : stepper) cpu (vcpu : Domain.vcpu) =
+let exec_set_timer_op t cpu (vcpu : Domain.vcpu) =
   let percpu = t.percpu.(cpu) in
-  s.run "lock_timers" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
-  s.run "insert_timer" (fun () ->
-      let now = Sim.Clock.now t.clock in
-      ignore
-        (Timer_heap.add t.timers
-           ~deadline:(now + Sim.Time.ms 1)
-           (Timer_heap.Vcpu_timer (vcpu.Domain.domid, vcpu.Domain.vid))));
-  s.run "unlock_timers" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu)
+  step t "lock_timers";
+  Spinlock.acquire percpu.Percpu.heap_lock ~cpu;
+  step t "insert_timer";
+  let now = Sim.Clock.now t.clock in
+  ignore
+    (Timer_heap.add t.timers
+       ~deadline:(now + Sim.Time.ms 1)
+       (Timer_heap.Vcpu_timer (vcpu.Domain.domid, vcpu.Domain.vid)));
+  step t "unlock_timers";
+  Spinlock.release percpu.Percpu.heap_lock ~cpu
 
-let exec_console_io t (s : stepper) cpu =
-  s.run "lock_console" (fun () -> Spinlock.acquire t.console_lock ~cpu);
-  s.run "emit" ~cycles:300 (fun () -> ());
-  s.run "unlock_console" (fun () -> Spinlock.release t.console_lock ~cpu)
+let exec_console_io t cpu =
+  step t "lock_console";
+  Spinlock.acquire t.console_lock ~cpu;
+  step ~cycles:300 t "emit";
+  step t "unlock_console";
+  Spinlock.release t.console_lock ~cpu
 
 (* Toolstack domain creation: walks the domain list under the static
    domlist lock, allocates control structures from the heap and memory
    from the frame allocator -- the path that must still work after
    recovery for the hypervisor to count as healthy. *)
-let exec_domctl_create t (s : stepper) cpu ~vcpu_pin ~mem_frames =
+let exec_domctl_create t cpu ~vcpu_pin ~mem_frames =
   Domain.check_struct (privvm t);
-  s.run "lock_domlist" (fun () -> Spinlock.acquire t.domlist_lock ~cpu);
+  step t "lock_domlist";
+  Spinlock.acquire t.domlist_lock ~cpu;
   if not t.static_data_ok then
     Crash.panic "domctl: static configuration data corrupted (%s)"
       t.static_data_note;
+  step t "alloc_domain_struct";
   let dom =
-    s.run "alloc_domain_struct" (fun () ->
-        create_domain_internal t ~privileged:false ~vcpu_pins:[ vcpu_pin ]
-          ~mem_frames)
+    create_domain_internal t ~privileged:false ~vcpu_pins:[ vcpu_pin ]
+      ~mem_frames
   in
-  s.run "unlock_domlist" (fun () -> Spinlock.release t.domlist_lock ~cpu);
+  step t "unlock_domlist";
+  Spinlock.release t.domlist_lock ~cpu;
   dom
 
-let exec_domctl_destroy t (s : stepper) cpu (dom : Domain.t) =
-  s.run "lock_domlist" (fun () -> Spinlock.acquire t.domlist_lock ~cpu);
-  s.run "teardown" (fun () -> destroy_domain_internal t dom);
-  s.run "unlock_domlist" (fun () -> Spinlock.release t.domlist_lock ~cpu)
+let exec_domctl_destroy t cpu (dom : Domain.t) =
+  step t "lock_domlist";
+  Spinlock.acquire t.domlist_lock ~cpu;
+  step t "teardown";
+  destroy_domain_internal t dom;
+  step t "unlock_domlist";
+  Spinlock.release t.domlist_lock ~cpu
+
+(* First unbound event channel, lowest port first (the order the old
+   [Array.to_list |> find_opt] walk produced). *)
+let rec first_unbound_chan (chans : Evtchn.chan array) i =
+  if i >= Array.length chans then -1
+  else if not chans.(i).Evtchn.bound then i
+  else first_unbound_chan chans (i + 1)
 
 (* Dispatch a hypercall body. [record] carries retry state. *)
-let rec exec_hypercall_body t (s : stepper) rng journal cpu (vcpu : Domain.vcpu)
+let rec exec_hypercall_body t rng journal cpu (vcpu : Domain.vcpu)
     (record : Hypercalls.record) (kind : Hypercalls.kind) =
   let dom =
     match domain t vcpu.Domain.domid with
@@ -760,35 +855,33 @@ let rec exec_hypercall_body t (s : stepper) rng journal cpu (vcpu : Domain.vcpu)
   in
   Domain.check_struct dom;
   match kind with
-  | Hypercalls.Mmu_update entries -> exec_mmu_update t s journal dom record ~entries
-  | Hypercalls.Update_va_mapping -> exec_update_va_mapping t s rng journal dom record
-  | Hypercalls.Memory_op_populate -> exec_memory_op_populate t s journal dom record
-  | Hypercalls.Memory_op_decrease -> exec_memory_op_decrease t s rng journal dom record
+  | Hypercalls.Mmu_update entries -> exec_mmu_update t journal dom record ~entries
+  | Hypercalls.Update_va_mapping -> exec_update_va_mapping t rng journal dom record
+  | Hypercalls.Memory_op_populate -> exec_memory_op_populate t journal dom record
+  | Hypercalls.Memory_op_decrease -> exec_memory_op_decrease t rng journal dom record
   | Hypercalls.Grant_table_op subops ->
-    exec_grant_table_op t s rng journal dom record ~subops
-  | Hypercalls.Event_channel_send -> exec_evtchn_send t s dom
-  | Hypercalls.Event_channel_bind ->
-    s.run "bind_port" (fun () ->
-        let free =
-          Array.to_list dom.Domain.evtchn.Evtchn.chans
-          |> List.find_opt (fun c -> not c.Evtchn.bound)
-        in
-        match free with
-        | Some c -> Evtchn.bind dom.Domain.evtchn ~port:c.Evtchn.port
-        | None -> ())
+    exec_grant_table_op t rng journal dom record ~subops
+  | Hypercalls.Event_channel_send -> exec_evtchn_send t dom
+  | Hypercalls.Event_channel_bind -> (
+    step t "bind_port";
+    let chans = dom.Domain.evtchn.Evtchn.chans in
+    match first_unbound_chan chans 0 with
+    | -1 -> ()
+    | i -> Evtchn.bind dom.Domain.evtchn ~port:chans.(i).Evtchn.port)
   | Hypercalls.Sched_op_yield ->
-    s.run "yield" (fun () -> t.need_resched_flags.(cpu) <- true)
-  | Hypercalls.Sched_op_block -> exec_sched_op_block t s cpu vcpu
-  | Hypercalls.Set_timer_op -> exec_set_timer_op t s cpu vcpu
-  | Hypercalls.Console_io -> exec_console_io t s cpu
-  | Hypercalls.Vcpu_op_info -> s.run "read_info" ~cycles:100 (fun () -> ())
+    step t "yield";
+    t.need_resched_flags.(cpu) <- true
+  | Hypercalls.Sched_op_block -> exec_sched_op_block t cpu vcpu
+  | Hypercalls.Set_timer_op -> exec_set_timer_op t cpu vcpu
+  | Hypercalls.Console_io -> exec_console_io t cpu
+  | Hypercalls.Vcpu_op_info -> step ~cycles:100 t "read_info"
   | Hypercalls.Domctl_create_domain ->
-    ignore (exec_domctl_create t s cpu ~vcpu_pin:3 ~mem_frames:32)
+    ignore (exec_domctl_create t cpu ~vcpu_pin:3 ~mem_frames:32)
   | Hypercalls.Domctl_destroy_domain ->
     (match app_domains t with
-    | d :: _ -> exec_domctl_destroy t s cpu d
+    | d :: _ -> exec_domctl_destroy t cpu d
     | [] -> ())
-  | Hypercalls.Domctl_pause_domain -> s.run "pause" (fun () -> ())
+  | Hypercalls.Domctl_pause_domain -> step t "pause"
   | Hypercalls.Multicall kinds ->
     (* Each component gets its own argument record (created once, reused
        verbatim on retry); all components share the batch's journal. *)
@@ -802,7 +895,7 @@ let rec exec_hypercall_body t (s : stepper) rng journal cpu (vcpu : Domain.vcpu)
     List.iteri
       (fun i child ->
         if i >= record.Hypercalls.sub_completed then begin
-          exec_hypercall_body t s rng journal cpu vcpu child
+          exec_hypercall_body t rng journal cpu vcpu child
             child.Hypercalls.kind;
           if t.config.Config.hypercall_progress_tracking then begin
             (* Fine-granularity batched retry: log each component's
@@ -820,42 +913,49 @@ let journal_of_record _t (record : Hypercalls.record) = record.Hypercalls.journa
 (* Top-level activities                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_timer_action t (s : stepper) cpu (e : Timer_heap.event) =
+let run_timer_action t cpu (e : Timer_heap.event) =
   Obs.Metrics.incr t.obs.Obs.Recorder.timer_fires;
   if Obs.Recorder.enabled t.obs Obs.Event.Debug then
     observe t ~cpu Obs.Event.Debug
       (Obs.Event.Timer_fire { action = Timer_heap.action_name e.Timer_heap.action });
   match e.Timer_heap.action with
   | Timer_heap.Time_sync ->
-    s.run "time_sync" (fun () -> t.time_sync_count <- t.time_sync_count + 1)
+    step t "time_sync";
+    t.time_sync_count <- t.time_sync_count + 1
   | Timer_heap.Sched_tick c ->
-    s.run "sched_tick" (fun () -> t.need_resched_flags.(c) <- true)
+    step t "sched_tick";
+    t.need_resched_flags.(c) <- true
   | Timer_heap.Watchdog_tick ->
-    s.run "watchdog_tick" (fun () ->
-        Array.iteri (fun i v -> t.watchdog_soft.(i) <- v + 1) t.watchdog_soft)
-  | Timer_heap.Vcpu_timer (domid, vid) ->
-    s.run "vcpu_timer" (fun () ->
-        match domain t domid with
-        | Some d when d.Domain.alive ->
-          let v = Domain.vcpu d vid in
-          if v.Domain.runstate = Domain.Blocked then begin
-            v.Domain.runstate <- Domain.Runnable;
-            Sched.enqueue t.sched v
-          end
-        | Some _ | None -> ())
-  | Timer_heap.Generic_oneshot -> s.run "oneshot" (fun () -> ())
+    step t "watchdog_tick";
+    for i = 0 to Array.length t.watchdog_soft - 1 do
+      t.watchdog_soft.(i) <- t.watchdog_soft.(i) + 1
+    done
+  | Timer_heap.Vcpu_timer (domid, vid) -> (
+    step t "vcpu_timer";
+    match domain t domid with
+    | Some d when d.Domain.alive ->
+      let v = Domain.vcpu d vid in
+      if v.Domain.runstate = Domain.Blocked then begin
+        v.Domain.runstate <- Domain.Runnable;
+        Sched.enqueue t.sched v
+      end
+    | Some _ | None -> ())
+  | Timer_heap.Generic_oneshot -> step t "oneshot"
   [@@warning "-27"]
 
 (* The context-switch path, decomposed so an abandonment between the
    per-CPU update and the per-vCPU updates leaves the redundant records
    disagreeing. Returns [true] if the wrong register context would have
    been restored. *)
-let do_context_switch t (s : stepper) cpu =
+let do_context_switch t cpu =
   let percpu = t.percpu.(cpu) in
-  s.run "lock_sched" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
-  s.run "assert_not_in_irq" (fun () -> Percpu.assert_not_in_irq percpu);
+  step t "lock_sched";
+  Spinlock.acquire percpu.Percpu.heap_lock ~cpu;
+  step t "assert_not_in_irq";
+  Percpu.assert_not_in_irq percpu;
   let wrong_context = ref false in
-  (match s.run "pick_next" (fun () -> Sched.dequeue t.sched ~cpu) with
+  step t "pick_next";
+  (match Sched.dequeue t.sched ~cpu with
   | None -> ()
   | Some next ->
     (match Sched.current t.sched ~cpu with
@@ -863,93 +963,100 @@ let do_context_switch t (s : stepper) cpu =
     | Some prev ->
       (* The assertion-rich part of Xen's schedule(): metadata must
          agree before the switch. *)
-      s.run "assert_consistent" (fun () ->
-          Crash.hv_assert prev.Domain.is_current
-            "schedule: cpu%d prev d%dv%d lost is_current" cpu prev.Domain.domid
-            prev.Domain.vid;
-          if prev.Domain.curr_slot <> cpu then
-            (* Disagreement that does not trip an assertion restores a
-               stale context instead. *)
-            wrong_context := true);
-      s.run "clear_prev" (fun () ->
-          Sched.vcpu_clear_current prev;
-          if prev.Domain.runstate = Domain.Running then
-            prev.Domain.runstate <- Domain.Runnable;
-          Sched.enqueue t.sched prev);
-      s.run "set_percpu_curr" (fun () ->
-          Sched.set_current t.sched ~cpu (Some next);
-          percpu.Percpu.curr_domid <- next.Domain.domid;
-          percpu.Percpu.curr_vcpuid <- next.Domain.vid);
-      s.run "mark_next_current" (fun () -> Sched.vcpu_mark_current next ~cpu);
-      s.run "restore_context" ~cycles:350 (fun () ->
-          (* Disagreeing redundant records make Xen restore a stale
-             register context: the guest resumes with wrong registers. *)
-          if !wrong_context then begin
-            match domain t next.Domain.domid with
-            | Some d when not d.Domain.is_idle -> d.Domain.guest_failed <- true
-            | Some _ | None -> ()
-          end)
+      step t "assert_consistent";
+      Crash.hv_assert prev.Domain.is_current
+        "schedule: cpu%d prev d%dv%d lost is_current" cpu prev.Domain.domid
+        prev.Domain.vid;
+      if prev.Domain.curr_slot <> cpu then
+        (* Disagreement that does not trip an assertion restores a
+           stale context instead. *)
+        wrong_context := true;
+      step t "clear_prev";
+      Sched.vcpu_clear_current prev;
+      if prev.Domain.runstate = Domain.Running then
+        prev.Domain.runstate <- Domain.Runnable;
+      Sched.enqueue t.sched prev;
+      step t "set_percpu_curr";
+      Sched.set_current t.sched ~cpu (Some next);
+      percpu.Percpu.curr_domid <- next.Domain.domid;
+      percpu.Percpu.curr_vcpuid <- next.Domain.vid;
+      step t "mark_next_current";
+      Sched.vcpu_mark_current next ~cpu;
+      step ~cycles:350 t "restore_context";
+      (* Disagreeing redundant records make Xen restore a stale
+         register context: the guest resumes with wrong registers. *)
+      if !wrong_context then begin
+        match domain t next.Domain.domid with
+        | Some d when not d.Domain.is_idle -> d.Domain.guest_failed <- true
+        | Some _ | None -> ()
+      end
     | None ->
-      s.run "set_percpu_curr" (fun () ->
-          Sched.set_current t.sched ~cpu (Some next);
-          percpu.Percpu.curr_domid <- next.Domain.domid;
-          percpu.Percpu.curr_vcpuid <- next.Domain.vid);
-      s.run "mark_next_current" (fun () -> Sched.vcpu_mark_current next ~cpu);
-      s.run "restore_context" ~cycles:350 (fun () -> ())));
-  s.run "unlock_sched" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu);
+      step t "set_percpu_curr";
+      Sched.set_current t.sched ~cpu (Some next);
+      percpu.Percpu.curr_domid <- next.Domain.domid;
+      percpu.Percpu.curr_vcpuid <- next.Domain.vid;
+      step t "mark_next_current";
+      Sched.vcpu_mark_current next ~cpu;
+      step ~cycles:350 t "restore_context"));
+  step t "unlock_sched";
+  Spinlock.release percpu.Percpu.heap_lock ~cpu;
   t.need_resched_flags.(cpu) <- false;
   !wrong_context
 
-let do_timer_tick t (s : stepper) cpu =
+let rec drain_due_timers t cpu ~now budget =
+  if budget > 0 then begin
+    match Timer_heap.pop_due t.timers ~now with
+    | None -> ()
+    | Some e ->
+      (* The periodic-timer infrastructure re-arms scheduler/watchdog
+         ticks up front; the time-sync handler re-arms itself at the
+         end of its (longer) handler, leaving the pop-to-requeue gap
+         that "Reactivate recurring timer events" closes. *)
+      (match e.Timer_heap.action with
+      | Timer_heap.Time_sync ->
+        run_timer_action t cpu e;
+        Timer_heap.requeue t.timers e ~now:(Sim.Clock.now t.clock)
+      | Timer_heap.Sched_tick _ | Timer_heap.Watchdog_tick
+      | Timer_heap.Vcpu_timer _ | Timer_heap.Generic_oneshot ->
+        Timer_heap.requeue t.timers e ~now:(Sim.Clock.now t.clock);
+        run_timer_action t cpu e);
+      drain_due_timers t cpu ~now (budget - 1)
+  end
+
+let do_timer_tick t cpu =
   let percpu = t.percpu.(cpu) in
   let apic = (Hw.Machine.cpu t.machine cpu).Hw.Cpu.apic in
-  s.run "irq_enter" (fun () ->
-      Percpu.irq_enter percpu;
-      (* The APIC one-shot timer fired to get here: it is now disarmed
-         and stays so until the reprogram step below. *)
-      Hw.Apic.disarm_timer apic;
-      Hw.Apic.begin_service apic 0xf0);
-  s.run "lock_timers" (fun () -> Spinlock.acquire percpu.Percpu.heap_lock ~cpu);
+  step t "irq_enter";
+  Percpu.irq_enter percpu;
+  (* The APIC one-shot timer fired to get here: it is now disarmed
+     and stays so until the reprogram step below. *)
+  Hw.Apic.disarm_timer apic;
+  Hw.Apic.begin_service apic 0xf0;
+  step t "lock_timers";
+  Spinlock.acquire percpu.Percpu.heap_lock ~cpu;
   let now = Sim.Clock.now t.clock in
   (* Each due event is popped, its handler runs and (for recurring
      events) it is re-inserted at the end of the handler -- the pop-to-
      requeue gap is the window the "Reactivate recurring timer events"
      enhancement closes. *)
-  let rec drain budget =
-    if budget > 0 then begin
-      match Timer_heap.pop_due t.timers ~now with
-      | None -> ()
-      | Some e ->
-        (* The periodic-timer infrastructure re-arms scheduler/watchdog
-           ticks up front; the time-sync handler re-arms itself at the
-           end of its (longer) handler, leaving the pop-to-requeue gap
-           that "Reactivate recurring timer events" closes. *)
-        (match e.Timer_heap.action with
-        | Timer_heap.Time_sync ->
-          run_timer_action t s cpu e;
-          Timer_heap.requeue t.timers e ~now:(Sim.Clock.now t.clock)
-        | Timer_heap.Sched_tick _ | Timer_heap.Watchdog_tick
-        | Timer_heap.Vcpu_timer _ | Timer_heap.Generic_oneshot ->
-          Timer_heap.requeue t.timers e ~now:(Sim.Clock.now t.clock);
-          run_timer_action t s cpu e);
-        drain (budget - 1)
-    end
+  drain_due_timers t cpu ~now 3;
+  step t "unlock_timers";
+  Spinlock.release percpu.Percpu.heap_lock ~cpu;
+  step t "reprogram_apic";
+  let deadline =
+    match Timer_heap.next_deadline t.timers with
+    | Some d -> max d (Sim.Clock.now t.clock + Sim.Time.us 10)
+    | None -> Sim.Clock.now t.clock + Sim.Time.ms 10
   in
-  drain 3;
-  s.run "unlock_timers" (fun () -> Spinlock.release percpu.Percpu.heap_lock ~cpu);
-  s.run "reprogram_apic" (fun () ->
-      let deadline =
-        match Timer_heap.next_deadline t.timers with
-        | Some d -> max d (Sim.Clock.now t.clock + Sim.Time.us 10)
-        | None -> Sim.Clock.now t.clock + Sim.Time.ms 10
-      in
-      Hw.Apic.program_timer apic ~deadline);
-  s.run "apic_eoi" (fun () -> Hw.Apic.eoi apic 0xf0);
-  s.run "irq_exit" (fun () -> Percpu.irq_exit percpu)
+  Hw.Apic.program_timer apic ~deadline;
+  step t "apic_eoi";
+  Hw.Apic.eoi apic 0xf0;
+  step t "irq_exit";
+  Percpu.irq_exit percpu
 (* Resched requests raised by the tick are honoured by the softirq path
    on the next idle poll / explicit context switch. *)
 
-let do_device_interrupt t (s : stepper) ~line ~target_dom =
+let do_device_interrupt t ~line ~target_dom =
   let cpu = 0 (* device interrupts are routed to the PrivVM's CPU *) in
   let percpu = t.percpu.(cpu) in
   let apic = (Hw.Machine.cpu t.machine cpu).Hw.Cpu.apic in
@@ -959,25 +1066,28 @@ let do_device_interrupt t (s : stepper) ~line ~target_dom =
        the device's interrupts simply never arrive. *)
     ()
   else begin
-    s.run "irq_enter" (fun () ->
-        Percpu.irq_enter percpu;
-        Hw.Apic.begin_service apic vector);
+    step t "irq_enter";
+    Percpu.irq_enter percpu;
+    Hw.Apic.begin_service apic vector;
     (match domain t target_dom with
     | Some dom when dom.Domain.alive ->
-      s.run "lock_evtchn" (fun () ->
-          Spinlock.acquire dom.Domain.evtchn.Evtchn.lock ~cpu);
-      s.run "notify_guest" (fun () ->
-          Evtchn.send dom.Domain.evtchn ~port:2;
-          (* The event wakes the target vCPU if it blocked. *)
-          Array.iter
-            (fun (v : Domain.vcpu) ->
-              if v.Domain.runstate = Domain.Blocked then Sched.enqueue t.sched v)
-            dom.Domain.vcpus);
-      s.run "unlock_evtchn" (fun () ->
-          Spinlock.release dom.Domain.evtchn.Evtchn.lock ~cpu)
+      step t "lock_evtchn";
+      Spinlock.acquire dom.Domain.evtchn.Evtchn.lock ~cpu;
+      step t "notify_guest";
+      Evtchn.send dom.Domain.evtchn ~port:2;
+      (* The event wakes the target vCPU if it blocked. *)
+      let vcpus = dom.Domain.vcpus in
+      for i = 0 to Array.length vcpus - 1 do
+        let v = vcpus.(i) in
+        if v.Domain.runstate = Domain.Blocked then Sched.enqueue t.sched v
+      done;
+      step t "unlock_evtchn";
+      Spinlock.release dom.Domain.evtchn.Evtchn.lock ~cpu
     | Some _ | None -> ());
-    s.run "apic_eoi" (fun () -> Hw.Apic.eoi apic vector);
-    s.run "irq_exit" (fun () -> Percpu.irq_exit percpu)
+    step t "apic_eoi";
+    Hw.Apic.eoi apic vector;
+    step t "irq_exit";
+    Percpu.irq_exit percpu
   end
 
 (* Fraction of the non-idempotent hypercall paths actually covered by the
@@ -985,7 +1095,7 @@ let do_device_interrupt t (s : stepper) ~line ~target_dom =
    injection surfaced, not all of them: 84% -> 96% recovery rate). *)
 let mitigation_coverage = 0.80
 
-let do_hypercall t (s : stepper) rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
+let do_hypercall t rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
   let percpu = t.percpu.(cpu) in
   let record =
     match retry_of with
@@ -1017,79 +1127,86 @@ let do_hypercall t (s : stepper) rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
       observe t ~cpu ~domid Obs.Event.Debug
         (Obs.Event.Hypercall_entry
            { domid; vid; kind = Hypercalls.name kind; retry = false }));
-  s.run "hypercall_entry" (fun () ->
-      Cycle_account.note_entry t.cycles;
-      percpu.Percpu.in_hypercall_depth <- percpu.Percpu.in_hypercall_depth + 1;
-      if t.config.Config.save_fs_gs then begin
-        (* The x86-64 port fix: explicitly save the guest's FS/GS. *)
-        Cycle_account.charge t.cycles 30;
-        percpu.Percpu.saved_guest_fsgs <-
-          Some
-            ( Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.FS,
-              Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.GS )
-      end;
-      vcpu.Domain.in_hypercall <- Some record);
-  exec_hypercall_body t s rng journal cpu vcpu record kind;
-  s.run "hypercall_commit" (fun () ->
-      record.Hypercalls.committed <- true;
-      let debug_on = Obs.Recorder.enabled t.obs Obs.Event.Debug in
-      let entries = Journal.depth journal in
-      if entries > 0 && debug_on then
-        observe t ~cpu ~domid Obs.Event.Debug
-          (Obs.Event.Journal_commit { entries });
-      Journal.commit journal;
-      if debug_on then
-        observe t ~cpu ~domid Obs.Event.Debug
-          (Obs.Event.Hypercall_commit { domid; vid; kind = Hypercalls.name kind }));
-  s.run "hypercall_exit" (fun () ->
-      vcpu.Domain.in_hypercall <- None;
-      vcpu.Domain.retry_pending <- false;
-      percpu.Percpu.saved_guest_fsgs <- None;
-      percpu.Percpu.in_hypercall_depth <- max 0 (percpu.Percpu.in_hypercall_depth - 1))
+  step t "hypercall_entry";
+  Cycle_account.note_entry t.cycles;
+  percpu.Percpu.in_hypercall_depth <- percpu.Percpu.in_hypercall_depth + 1;
+  if t.config.Config.save_fs_gs then begin
+    (* The x86-64 port fix: explicitly save the guest's FS/GS. *)
+    Cycle_account.charge t.cycles 30;
+    percpu.Percpu.saved_guest_fsgs <-
+      Some
+        ( Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.FS,
+          Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.GS )
+  end;
+  vcpu.Domain.in_hypercall <- Some record;
+  exec_hypercall_body t rng journal cpu vcpu record kind;
+  step t "hypercall_commit";
+  record.Hypercalls.committed <- true;
+  let debug_on = Obs.Recorder.enabled t.obs Obs.Event.Debug in
+  let entries = Journal.depth journal in
+  if entries > 0 && debug_on then
+    observe t ~cpu ~domid Obs.Event.Debug (Obs.Event.Journal_commit { entries });
+  Journal.commit journal;
+  if debug_on then
+    observe t ~cpu ~domid Obs.Event.Debug
+      (Obs.Event.Hypercall_commit { domid; vid; kind = Hypercalls.name kind });
+  step t "hypercall_exit";
+  vcpu.Domain.in_hypercall <- None;
+  vcpu.Domain.retry_pending <- false;
+  percpu.Percpu.saved_guest_fsgs <- None;
+  percpu.Percpu.in_hypercall_depth <- max 0 (percpu.Percpu.in_hypercall_depth - 1)
 
-let do_syscall_forward t (s : stepper) ~cpu (vcpu : Domain.vcpu) =
+let do_syscall_forward t ~cpu (vcpu : Domain.vcpu) =
   let percpu = t.percpu.(cpu) in
-  s.run "syscall_entry" (fun () ->
-      Cycle_account.note_entry t.cycles;
-      if t.config.Config.save_fs_gs then
-        percpu.Percpu.saved_guest_fsgs <-
-          Some
-            ( Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.FS,
-              Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.GS );
-      vcpu.Domain.in_syscall_forward <- true);
-  s.run "decode_target" ~cycles:60 (fun () -> ());
-  s.run "forward_to_kernel" (fun () -> ());
-  s.run "syscall_exit" (fun () ->
-      vcpu.Domain.in_syscall_forward <- false;
-      vcpu.Domain.syscall_retry_pending <- false;
-      percpu.Percpu.saved_guest_fsgs <- None)
+  step t "syscall_entry";
+  Cycle_account.note_entry t.cycles;
+  if t.config.Config.save_fs_gs then
+    percpu.Percpu.saved_guest_fsgs <-
+      Some
+        ( Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.FS,
+          Hw.Regs.get vcpu.Domain.guest_regs Hw.Regs.GS );
+  vcpu.Domain.in_syscall_forward <- true;
+  step ~cycles:60 t "decode_target";
+  step t "forward_to_kernel";
+  step t "syscall_exit";
+  vcpu.Domain.in_syscall_forward <- false;
+  vcpu.Domain.syscall_retry_pending <- false;
+  percpu.Percpu.saved_guest_fsgs <- None
 
-let do_idle_poll t (s : stepper) cpu =
-  s.run "check_softirq" ~cycles:50 (fun () -> ());
-  if t.need_resched_flags.(cpu) then ignore (do_context_switch t s cpu)
+let do_idle_poll t cpu =
+  step ~cycles:50 t "check_softirq";
+  if t.need_resched_flags.(cpu) then ignore (do_context_switch t cpu)
 
 let execute t rng activity =
   match activity with
-  | Timer_tick cpu -> do_timer_tick t (make_stepper t activity cpu) cpu
+  | Timer_tick cpu ->
+    begin_activity t activity cpu;
+    do_timer_tick t cpu
   | Device_interrupt { line; target_dom } ->
-    do_device_interrupt t (make_stepper t activity 0) ~line ~target_dom
+    begin_activity t activity 0;
+    do_device_interrupt t ~line ~target_dom
   | Hypercall { domid; vid; kind } ->
     (match domain t domid with
     | Some dom when dom.Domain.alive ->
       let vcpu = Domain.vcpu dom vid in
       let cpu = vcpu.Domain.processor in
-      do_hypercall t (make_stepper t activity cpu) rng ~cpu vcpu kind ~retry_of:None
+      begin_activity t activity cpu;
+      do_hypercall t rng ~cpu vcpu kind ~retry_of:None
     | Some _ | None -> ())
   | Syscall_forward { domid; vid } ->
     (match domain t domid with
     | Some dom when dom.Domain.alive ->
       let vcpu = Domain.vcpu dom vid in
       let cpu = vcpu.Domain.processor in
-      do_syscall_forward t (make_stepper t activity cpu) ~cpu vcpu
+      begin_activity t activity cpu;
+      do_syscall_forward t ~cpu vcpu
     | Some _ | None -> ())
   | Context_switch cpu ->
-    ignore (do_context_switch t (make_stepper t activity cpu) cpu)
-  | Idle_poll cpu -> do_idle_poll t (make_stepper t activity cpu) cpu
+    begin_activity t activity cpu;
+    ignore (do_context_switch t cpu)
+  | Idle_poll cpu ->
+    begin_activity t activity cpu;
+    do_idle_poll t cpu
 
 (* Execute an activity but abandon it (exactly as a discarded execution
    thread would be) at step [stop_at]: partial state stays in place. *)
@@ -1098,8 +1215,8 @@ let execute_partial t rng activity ~stop_at =
   let counter = ref 0 in
   t.step_hook <-
     Some
-      (fun t' ctx ->
-        (match saved_hook with Some h -> h t' ctx | None -> ());
+      (fun t' act idx name cpu ->
+        (match saved_hook with Some h -> h t' act idx name cpu | None -> ());
         if !counter >= stop_at then raise Abandoned;
         incr counter);
   Fun.protect
@@ -1129,13 +1246,14 @@ let retry_hypercall t rng (vcpu : Domain.vcpu) =
       Hypercall
         { domid = vcpu.Domain.domid; vid = vcpu.Domain.vid; kind = record.Hypercalls.kind }
     in
-    do_hypercall t (make_stepper t activity cpu) rng ~cpu vcpu
-      record.Hypercalls.kind ~retry_of:(Some record)
+    begin_activity t activity cpu;
+    do_hypercall t rng ~cpu vcpu record.Hypercalls.kind ~retry_of:(Some record)
 
 let retry_syscall t (vcpu : Domain.vcpu) =
   let cpu = vcpu.Domain.processor in
   let activity = Syscall_forward { domid = vcpu.Domain.domid; vid = vcpu.Domain.vid } in
-  do_syscall_forward t (make_stepper t activity cpu) ~cpu vcpu
+  begin_activity t activity cpu;
+  do_syscall_forward t ~cpu vcpu
 
 (* ------------------------------------------------------------------ *)
 (* Consistency audit                                                   *)
@@ -1191,36 +1309,42 @@ let audit_clean r =
   && r.timer_structure_ok && r.recurring_missing = 0 && r.apics_unarmed = 0
   && r.static_data_ok
 
-(* The audit's violations as (kind, magnitude) pairs — the fixed kind
-   vocabulary behind the per-kind obs counters (see
-   [audit_violation_kinds] above; instruments are registered eagerly at
-   [create] so fresh and reused recorders stay structurally identical). *)
+(* Visit the audit's violations as (index, kind, magnitude) triples
+   without materialising a list; [index] follows [audit_violation_kinds]
+   order, so counter lookups against [t.audit_counters] are plain array
+   reads (instruments are registered eagerly at [create] so fresh and
+   reused recorders stay structurally identical). *)
+let iter_violations r f =
+  if r.static_locks_held > 0 then f 0 "static_locks_held" r.static_locks_held;
+  if r.heap_locks_held then f 1 "heap_locks_held" 1;
+  if r.irq_counts_nonzero > 0 then f 2 "irq_counts_nonzero" r.irq_counts_nonzero;
+  if not r.sched_consistent then f 3 "sched_inconsistent" 1;
+  if r.pfn_inconsistent > 0 then f 4 "pfn_inconsistent" r.pfn_inconsistent;
+  if not r.heap_ok then f 5 "heap_corrupt" 1;
+  if not r.timer_structure_ok then f 6 "timer_structure_bad" 1;
+  if r.recurring_missing > 0 then f 7 "recurring_missing" r.recurring_missing;
+  if r.apics_unarmed > 0 then f 8 "apics_unarmed" r.apics_unarmed;
+  if not r.static_data_ok then f 9 "static_data_corrupt" 1
+
+(* The same violations as (kind, magnitude) pairs, for callers that want
+   a value rather than a visit. *)
 let audit_violations r =
-  let flag name cond = if cond then [ (name, 1) ] else [] in
-  let count name n = if n > 0 then [ (name, n) ] else [] in
-  count "static_locks_held" r.static_locks_held
-  @ flag "heap_locks_held" r.heap_locks_held
-  @ count "irq_counts_nonzero" r.irq_counts_nonzero
-  @ flag "sched_inconsistent" (not r.sched_consistent)
-  @ count "pfn_inconsistent" r.pfn_inconsistent
-  @ flag "heap_corrupt" (not r.heap_ok)
-  @ flag "timer_structure_bad" (not r.timer_structure_ok)
-  @ count "recurring_missing" r.recurring_missing
-  @ count "apics_unarmed" r.apics_unarmed
-  @ flag "static_data_corrupt" (not r.static_data_ok)
+  let acc = ref [] in
+  iter_violations r (fun _ kind count -> acc := (kind, count) :: !acc);
+  List.rev !acc
 
 (* Bump the per-kind [audit.*] counters and emit one typed
    [Audit_violation] event per violated invariant. Called wherever an
    audit is consulted for pass/fail (post-recovery classification,
    endurance cycles) so violations are queryable instead of living only
-   in a formatted failure string. *)
+   in a formatted failure string. The counter bumps go through the
+   cached [audit_counters] array: no name concatenation, no registry
+   lookup, no intermediate list. *)
 let record_audit_violations t r =
-  List.iter
-    (fun (kind, count) ->
-      Obs.Metrics.incr ~by:count (audit_counter t.obs kind);
+  iter_violations r (fun idx kind count ->
+      Obs.Metrics.incr ~by:count t.audit_counters.(idx);
       if Obs.Recorder.enabled t.obs Obs.Event.Warn then
         observe t Obs.Event.Warn (Obs.Event.Audit_violation { kind; count }))
-    (audit_violations r)
 
 let pp_audit fmt r =
   Format.fprintf fmt

@@ -8,33 +8,39 @@
     guest failure. *)
 
 type t = {
-  runq : (int, Domain.vcpu) Hashtbl.t; (* cpu -> queued vcpus (multi) *)
+  runq : Domain.vcpu list array;
+      (* cpu -> queued vcpus, newest first. A vCPU's [processor] pin is
+         set at creation and never moves, so plain per-CPU lists replace
+         the multi-binding hashtable the run queue used to be: same LIFO
+         order ([Hashtbl.add]/[find_all] were newest-first too), no
+         hashing and no [find_all] list allocation on the context-switch
+         path. *)
   curr : Domain.vcpu option array; (* authoritative per-CPU current *)
   num_cpus : int;
 }
 
 let create ~num_cpus =
-  { runq = Hashtbl.create 16; curr = Array.make num_cpus None; num_cpus }
+  { runq = Array.make num_cpus []; curr = Array.make num_cpus None; num_cpus }
 
-(* Empty the run queues and current records, as [create] would.
-   [Hashtbl.reset] keeps iteration order identical to a fresh table. *)
+(* Empty the run queues and current records, as [create] would. *)
 let reset t =
-  Hashtbl.reset t.runq;
+  Array.fill t.runq 0 t.num_cpus [];
   Array.fill t.curr 0 t.num_cpus None
 
 let enqueue t vcpu =
   vcpu.Domain.runstate <- Domain.Runnable;
-  if not (List.memq vcpu (Hashtbl.find_all t.runq vcpu.Domain.processor)) then
-    Hashtbl.add t.runq vcpu.Domain.processor vcpu
+  let cpu = vcpu.Domain.processor in
+  let q = t.runq.(cpu) in
+  if not (List.memq vcpu q) then t.runq.(cpu) <- vcpu :: q
 
 let dequeue t ~cpu =
-  match Hashtbl.find_opt t.runq cpu with
-  | Some v ->
-    Hashtbl.remove t.runq cpu;
+  match t.runq.(cpu) with
+  | v :: rest ->
+    t.runq.(cpu) <- rest;
     Some v
-  | None -> None
+  | [] -> None
 
-let queued t ~cpu = Hashtbl.find_all t.runq cpu
+let queued t ~cpu = t.runq.(cpu)
 
 let current t ~cpu = t.curr.(cpu)
 
@@ -78,8 +84,7 @@ let audit t all_vcpus =
          either current or in its CPU's run queue. A vCPU dequeued by an
          abandoned context switch silently starves otherwise. *)
       if v.Domain.runstate = Domain.Runnable && not v.Domain.is_current then begin
-        if not (List.memq v (Hashtbl.find_all t.runq v.Domain.processor)) then
-          ok := false
+        if not (List.memq v t.runq.(v.Domain.processor)) then ok := false
       end)
     all_vcpus;
   !ok
@@ -107,13 +112,8 @@ let fix_from_percpu t all_vcpus =
       vcpu_mark_current v ~cpu;
       (* Anything the per-CPU view says is current must not also sit in
          a run queue: remove stale queue entries for it. *)
-      let queued_here = Hashtbl.find_all t.runq cpu in
-      if List.memq v queued_here then begin
-        let others = List.filter (fun v' -> not (v' == v)) queued_here in
-        while Hashtbl.mem t.runq cpu do
-          Hashtbl.remove t.runq cpu
-        done;
-        List.iter (Hashtbl.add t.runq cpu) (List.rev others);
+      if List.memq v t.runq.(cpu) then begin
+        t.runq.(cpu) <- List.filter (fun v' -> not (v' == v)) t.runq.(cpu);
         incr fixes
       end
     | None -> ()
@@ -122,9 +122,9 @@ let fix_from_percpu t all_vcpus =
   List.iter
     (fun (v : Domain.vcpu) ->
       if v.Domain.runstate = Domain.Runnable
-         && not (List.memq v (Hashtbl.find_all t.runq v.Domain.processor))
+         && not (List.memq v t.runq.(v.Domain.processor))
       then begin
-        Hashtbl.add t.runq v.Domain.processor v;
+        t.runq.(v.Domain.processor) <- v :: t.runq.(v.Domain.processor);
         incr fixes
       end)
     all_vcpus;

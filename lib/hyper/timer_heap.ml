@@ -39,8 +39,30 @@ type t = {
   mutable recurring : event list; (* registry of all recurring events *)
 }
 
+(* The backing array is sized eagerly: campaign workers reuse one heap
+   across thousands of runs ([reset] keeps the array), and growing it
+   lazily would make the first run on each worker allocate more than the
+   rest -- breaking the jobs-invariance of the allocation profiler's
+   phase counters. 64 slots cover every configuration the campaigns use
+   (a few recurring events per CPU plus singleshot vCPU timers). *)
+let dummy_event =
+  {
+    id = -1;
+    deadline = 0;
+    period = None;
+    action = Generic_oneshot;
+    queued = false;
+    active = false;
+  }
+
 let create () =
-  { arr = [||]; size = 0; next_id = 0; structure_ok = true; recurring = [] }
+  {
+    arr = Array.make 64 dummy_event;
+    size = 0;
+    next_id = 0;
+    structure_ok = true;
+    recurring = [];
+  }
 
 let size t = t.size
 

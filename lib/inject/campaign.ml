@@ -159,9 +159,15 @@ type acc = {
    minor GC -- low enough for parallel runs to actually scale. Worker
    domains are additionally capped at the host's core count unless
    [oversubscribe] is set (see {!Pool.map_reduce}). The result totals
-   are identical for every [jobs] value either way. *)
+   are identical for every [jobs] value either way.
+
+   [alloc_profile] turns on the per-phase allocation profiler on every
+   worker recorder: the merged [totals.metrics] then carry the [alloc.*]
+   phase counters (still jobs-invariant -- each run's attribution depends
+   only on its seed). Off by default: the phase counters stay zero and
+   snapshots are unchanged. *)
 let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
-    ?(oversubscribe = false) ~n (cfg : Run.config) =
+    ?(oversubscribe = false) ?(alloc_profile = false) ~n (cfg : Run.config) =
   let t0 = Unix.gettimeofday () in
   let init () =
     {
@@ -184,6 +190,7 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
         let recorder =
           Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
         in
+        Obs.Recorder.set_alloc_profiling recorder alloc_profile;
         let w = Run.prepare ~recorder cfg in
         acc.acc_worker <- Some w;
         w

@@ -61,7 +61,8 @@ let measure_cycles ~hv_config ~setup ~seed ~activities =
       in
       let mix =
         Workloads.System_mix.create
-          ~benchmarks:(blk :: st.Run.mix.Workloads.System_mix.benchmarks)
+          ~benchmarks:
+            (blk :: Array.to_list st.Run.mix.Workloads.System_mix.benchmarks)
           ~active_cpus:[ 0; 1; 2; 3 ]
           ~blk_dom:(Some dom3.Domain.domid)
           ~net_dom:st.Run.mix.Workloads.System_mix.net_dom

@@ -169,7 +169,7 @@ let run_one_activity st =
 (* Track which CPU executes each step so detection knows where it was. *)
 let install_cpu_tracker st =
   st.hv.Hypervisor.step_hook <-
-    Some (fun _hv ctx -> st.last_cpu <- ctx.Hypervisor.cpu)
+    Some (fun _hv _activity _idx _name cpu -> st.last_cpu <- cpu)
 
 (* Arm the two-level trigger: after [countdown] further hypervisor
    steps, the sampled manifestation is applied. *)
@@ -178,8 +178,8 @@ let arm_fault st =
   let countdown = ref (1 + Sim.Rng.int st.rng st.cfg.trigger_window_steps) in
   st.hv.Hypervisor.step_hook <-
     Some
-      (fun hv ctx ->
-        st.last_cpu <- ctx.Hypervisor.cpu;
+      (fun hv activity _idx step_name cpu ->
+        st.last_cpu <- cpu;
         if not st.fault_applied then begin
           decr countdown;
           if !countdown <= 0 then begin
@@ -188,7 +188,7 @@ let arm_fault st =
               Obs.Metrics.incr hv.Hypervisor.obs.Obs.Recorder.faults_injected;
               Obs.Recorder.event hv.Hypervisor.obs
                 ~time:(Sim.Clock.now hv.Hypervisor.clock)
-                ~cpu:ctx.Hypervisor.cpu Obs.Event.Warn
+                ~cpu Obs.Event.Warn
                 (Obs.Event.Fault_injected { target = target_name })
             in
             for _ = 1 to manifestation.Profile.corruptions do
@@ -205,12 +205,12 @@ let arm_fault st =
             | `No -> ());
             match manifestation.Profile.crash_now with
             | `Panic ->
-              Crash.panic "injected fault on cpu%d in %s/%s" ctx.Hypervisor.cpu
-                (Hypervisor.activity_name ctx.Hypervisor.activity)
-                ctx.Hypervisor.step_name
+              Crash.panic "injected fault on cpu%d in %s/%s" cpu
+                (Hypervisor.activity_name activity)
+                step_name
             | `Hang ->
-              Crash.hang "injected fault wedges cpu%d in %s" ctx.Hypervisor.cpu
-                (Hypervisor.activity_name ctx.Hypervisor.activity)
+              Crash.hang "injected fault wedges cpu%d in %s" cpu
+                (Hypervisor.activity_name activity)
             | `No -> ()
           end
         end)
@@ -221,7 +221,7 @@ let arm_fault st =
    busy (needed by the Scope_faulting_only ablation). *)
 let abandon_concurrent_work st ~faulted_cpu =
   let busy = ref [] in
-  List.iter
+  Array.iter
     (fun cpu ->
       if cpu <> faulted_cpu
          && Sim.Rng.float st.rng 1.0 < Profile.concurrent_busy_prob
@@ -276,6 +276,9 @@ let count_affected_app_vms st ~initial_app_domids =
    [(hv_ok, new_vm_ok)]. *)
 let post_recovery_phase st =
   let hv = st.hv in
+  (* The resumed benchmarks are workload again; the final audit gets its
+     own allocation phase. *)
+  Obs.Recorder.alloc_phase hv.Hypervisor.obs Obs.Recorder.Workload;
   let hv_ok = ref true in
   let new_vm_ok = ref true in
   let reason = ref None in
@@ -377,6 +380,7 @@ let post_recovery_phase st =
      (* Final health check: residual inconsistencies that the benchmarks
         did not happen to touch still leave the hypervisor latently
         broken. *)
+     Obs.Recorder.alloc_phase hv.Hypervisor.obs Obs.Recorder.Audit;
      if !hv_ok then begin
        let report = Hypervisor.audit hv in
        if not (Hypervisor.audit_clean report) then begin
@@ -399,6 +403,9 @@ let run_prepared st : outcome =
   let cfg = st.cfg in
   let obs = st.hv.Hypervisor.obs in
   install_cpu_tracker st;
+  (* Boot (everything since [alloc_begin]) ends here; the warmup
+     activities are workload. *)
+  Obs.Recorder.alloc_phase obs Obs.Recorder.Workload;
   (* Warm-up: the first-level trigger fires well after benchmark start. *)
   for _ = 1 to cfg.warmup_activities do
     run_one_activity st
@@ -408,6 +415,8 @@ let run_prepared st : outcome =
       (fun (d : Domain.t) -> d.Domain.domid)
       (Hypervisor.app_domains st.hv)
   in
+  (* The armed trigger window counts as injection, detected or not. *)
+  Obs.Recorder.alloc_phase obs Obs.Recorder.Injection;
   arm_fault st;
   (* Run until detection or end of benchmark. *)
   let detection = ref None in
@@ -428,6 +437,7 @@ let run_prepared st : outcome =
       if any_sdc then Silent_corruption else Non_manifested
     | Some det ->
       st.hv.Hypervisor.step_hook <- None;
+      Obs.Recorder.alloc_phase obs Obs.Recorder.Detection;
       let faulted_cpu = st.last_cpu in
       Obs.Metrics.incr obs.Obs.Recorder.detections;
       Obs.Recorder.event obs
@@ -442,6 +452,7 @@ let run_prepared st : outcome =
         (Crash.detection_latency ~config:st.hv.Hypervisor.config det);
     let busy_cpus = abandon_concurrent_work st ~faulted_cpu in
     enter_detection_context st;
+    Obs.Recorder.alloc_phase obs Obs.Recorder.Recovery;
     let recovery_result =
       match cfg.mech with
       | No_recovery -> Error "no recovery mechanism"
@@ -521,6 +532,7 @@ let run_prepared st : outcome =
   Obs.Metrics.set obs.Obs.Recorder.run_end_time_ns now;
   Obs.Recorder.event obs ~time:now Obs.Event.Info
     (Obs.Event.Outcome_classified { name = outcome_name out });
+  Obs.Recorder.alloc_close obs;
   out
 
 (* Execute one complete fault-injection run on a freshly booted machine.
@@ -528,6 +540,9 @@ let run_prepared st : outcome =
    hypervisor reports into; callers that want the trace/spans/metrics of
    the run pass one and inspect it after. *)
 let run_obs ?recorder (cfg : config) : outcome =
+  (match recorder with
+  | Some r -> Obs.Recorder.alloc_begin r
+  | None -> ());
   run_prepared (boot_state ?recorder cfg)
 
 let run (cfg : config) : outcome = run_obs cfg
@@ -594,5 +609,8 @@ let rewind w (cfg : config) =
       ~setup:(hv_setup_of cfg) ~vcpus_per_cpu:cfg.vcpus_per_cpu
 
 let execute_into w (cfg : config) : outcome =
+  (* Mark before the rewind so the reset-in-place cost lands in the boot
+     phase (the mark survives the recorder reset inside the rewind). *)
+  Obs.Recorder.alloc_begin w.w_hv.Hypervisor.obs;
   rewind w cfg;
   run_prepared (make_state cfg w.w_rng w.w_hv)

@@ -8,6 +8,21 @@
     record fields, so normal-operation code pays a single unguarded
     integer increment per metric -- no name lookup on the hot path. *)
 
+(* Phases of one injection run, as attributed by the allocation
+   profiler. [Workload] covers both the warmup and the post-recovery
+   activity stream; [Injection] is the armed trigger window. *)
+type alloc_phase = Boot | Workload | Injection | Detection | Recovery | Audit
+
+let alloc_phases = [ Boot; Workload; Injection; Detection; Recovery; Audit ]
+
+let alloc_phase_name = function
+  | Boot -> "boot"
+  | Workload -> "workload"
+  | Injection -> "injection"
+  | Detection -> "detection"
+  | Recovery -> "recovery"
+  | Audit -> "audit"
+
 type t = {
   trace : Trace.t;
   spans : Span.t;
@@ -30,6 +45,21 @@ type t = {
   outcome_sdc : Metrics.counter;
   outcome_detected : Metrics.counter;
   run_end_time_ns : Metrics.gauge;
+  (* Phase-attributed allocation profiler: per-phase [Gc.minor_words]
+     deltas. The [alloc.*] counters are registered eagerly so a registry
+     snapshots identically whether profiling is enabled or not (they
+     just stay zero when off); the mark and current phase live outside
+     the registry so they survive the mid-boot [reset] that
+     [Hypervisor.reboot_in_place] performs. *)
+  alloc_boot : Metrics.counter;
+  alloc_workload : Metrics.counter;
+  alloc_injection : Metrics.counter;
+  alloc_detection : Metrics.counter;
+  alloc_recovery : Metrics.counter;
+  alloc_audit : Metrics.counter;
+  mutable alloc_on : bool;
+  mutable alloc_mark : float;
+  mutable alloc_cur : alloc_phase;
 }
 
 (* Fixed recovery-latency buckets in milliseconds: NiLiHype lands in the
@@ -57,7 +87,56 @@ let create ?(capacity = 4096) ?(min_level = Event.Info) () =
     outcome_sdc = Metrics.counter metrics "outcome.sdc";
     outcome_detected = Metrics.counter metrics "outcome.detected";
     run_end_time_ns = Metrics.gauge metrics "run.end_time_ns";
+    alloc_boot = Metrics.counter metrics "alloc.boot";
+    alloc_workload = Metrics.counter metrics "alloc.workload";
+    alloc_injection = Metrics.counter metrics "alloc.injection";
+    alloc_detection = Metrics.counter metrics "alloc.detection";
+    alloc_recovery = Metrics.counter metrics "alloc.recovery";
+    alloc_audit = Metrics.counter metrics "alloc.audit";
+    alloc_on = false;
+    alloc_mark = 0.0;
+    alloc_cur = Boot;
   }
+
+let alloc_counter t = function
+  | Boot -> t.alloc_boot
+  | Workload -> t.alloc_workload
+  | Injection -> t.alloc_injection
+  | Detection -> t.alloc_detection
+  | Recovery -> t.alloc_recovery
+  | Audit -> t.alloc_audit
+
+(* Words attributed to [phase] so far, as a plain int read (no snapshot
+   allocation) -- the bench's agreement check reads these in its loop. *)
+let alloc_words t phase = (alloc_counter t phase).Metrics.count
+
+let set_alloc_profiling t on = t.alloc_on <- on
+
+(* Start attributing: minor words allocated from here on are credited to
+   [Boot] until the first [alloc_phase] transition. Call BEFORE the
+   rewind/boot work the boot phase should capture; the counters it later
+   feeds are zeroed by the [reset] inside [reboot_in_place], but the
+   mark set here survives it. *)
+let alloc_begin t =
+  if t.alloc_on then begin
+    t.alloc_cur <- Boot;
+    t.alloc_mark <- Gc.minor_words ()
+  end
+
+(* Credit the words since the last mark to the phase being left, then
+   start attributing to [phase]. *)
+let alloc_phase t phase =
+  if t.alloc_on then begin
+    let now = Gc.minor_words () in
+    Metrics.incr
+      ~by:(int_of_float (now -. t.alloc_mark))
+      (alloc_counter t t.alloc_cur);
+    t.alloc_mark <- now;
+    t.alloc_cur <- phase
+  end
+
+(* End-of-run close: credit the tail to the current phase. *)
+let alloc_close t = alloc_phase t t.alloc_cur
 
 let set_min_level t level = Trace.set_min_level t.trace level
 

@@ -1,12 +1,24 @@
 (** Priority queue of timestamped events (binary min-heap).
 
     Ties are broken by insertion sequence so execution order is
-    deterministic. Events may be cancelled through their handle. *)
+    deterministic. Events may be cancelled through their handle.
+
+    Entries are recycled: a popped (or cleared-away) entry is parked in
+    the vacated heap slot and the next [push] reuses it in place of a
+    fresh allocation, so a queue that is cleared and refilled every run
+    -- the campaign engine's reuse pattern -- allocates entries only
+    until its high-water mark. The observable behaviour (pop order, seq
+    numbering, cancellation) is identical to a fresh queue; the
+    fresh-vs-reused equivalence test in test_sim guards this. A parked
+    entry keeps its last payload reachable until overwritten, and a
+    handle must not be cancelled after its event already popped (it
+    could name a recycled entry) -- both fine for the simulator's
+    schedule-then-drain usage. *)
 
 type 'a entry = {
-  time : Time.ns;
-  seq : int;
-  payload : 'a;
+  mutable time : Time.ns;
+  mutable seq : int;
+  mutable payload : 'a;
   mutable cancelled : bool;
 }
 
@@ -14,18 +26,24 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
-  dummy : 'a entry option ref;
+  mutable parked : int;
+      (* slots [0, parked) of [heap] hold real (possibly dead) entries;
+         slots [size, parked) are dead ones [push] may recycle. Never
+         past the last explicitly-written slot, so the duplicate filler
+         references [Array.make] leaves in a grown array are never
+         mistaken for recyclable entries. *)
 }
 
 type 'a handle = 'a entry
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = ref None }
+let create () = { heap = [||]; size = 0; next_seq = 0; parked = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-(* Drop every entry (cancelled or not) but keep the backing array, so a
-   reused queue behaves exactly like a fresh one without reallocating. *)
+(* Drop every entry (cancelled or not) but keep the backing array and
+   the parked entries, so a reused queue behaves exactly like a fresh
+   one without reallocating. *)
 let clear t =
   t.size <- 0;
   t.next_seq <- 0
@@ -56,22 +74,35 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let grow t entry =
-  let cap = Array.length t.heap in
-  if t.size = cap then begin
-    let ncap = max 16 (cap * 2) in
-    let nheap = Array.make ncap entry in
-    Array.blit t.heap 0 nheap 0 t.size;
-    t.heap <- nheap
-  end
-
 let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload; cancelled = false } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.heap.(t.size) <- entry;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let slot = t.size in
+  let entry =
+    if slot < t.parked then begin
+      (* Recycle the dead entry parked in the vacated slot. *)
+      let e = t.heap.(slot) in
+      e.time <- time;
+      e.seq <- seq;
+      e.payload <- payload;
+      e.cancelled <- false;
+      e
+    end
+    else begin
+      let e = { time; seq; payload; cancelled = false } in
+      if slot = Array.length t.heap then begin
+        let ncap = max 16 (slot * 2) in
+        let nheap = Array.make ncap e in
+        Array.blit t.heap 0 nheap 0 slot;
+        t.heap <- nheap
+      end;
+      t.heap.(slot) <- e;
+      t.parked <- slot + 1;
+      e
+    end
+  in
+  t.size <- slot + 1;
+  sift_up t slot;
   entry
 
 let cancel handle = handle.cancelled <- true
@@ -81,9 +112,14 @@ let rec pop t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
+    let last = t.size - 1 in
+    t.size <- last;
+    if last > 0 then begin
+      t.heap.(0) <- t.heap.(last);
+      (* Park the popped entry in the vacated slot (instead of leaving an
+         alias of the entry just moved to the root) so [push] can recycle
+         it. *)
+      t.heap.(last) <- top;
       sift_down t 0
     end;
     if top.cancelled then pop t else Some (top.time, top.payload)

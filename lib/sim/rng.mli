@@ -43,5 +43,16 @@ val choose_weighted : t -> (float * 'a) list -> 'a
 (** Sample according to the given non-negative weights (need not be
     normalised). Raises [Invalid_argument] on an empty or all-zero list. *)
 
+val choose_index_cum : t -> float array -> int
+(** [choose_index_cum t cum] samples an index given the cumulative
+    partial sums of a weight list ([cum.(i) = w0 +. ... +. wi]).
+    Draw-for-draw and bit-for-bit equivalent to [choose_weighted] over
+    the originating list, without its per-draw list traversal; hot paths
+    precompute [cum] once with {!cumulative}. *)
+
+val cumulative : (float * 'a) list -> float array
+(** Cumulative partial sums of the weights, in list order, for
+    {!choose_index_cum}. Raises [Invalid_argument] on an empty list. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

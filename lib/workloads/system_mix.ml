@@ -5,14 +5,39 @@
     lands in an activity drawn from this mix. *)
 
 type t = {
-  benchmarks : Workload.t list;
-  active_cpus : int list; (* CPUs with a pinned vCPU (incl. PrivVM's) *)
+  benchmarks : Workload.t array;
+  active_cpus : int array; (* CPUs with a pinned vCPU (incl. PrivVM's) *)
   blk_dom : int option; (* domain receiving block-device completions *)
   net_dom : int option; (* domain receiving network packets *)
+  (* Device-interrupt pressure, folded over the benchmarks once at
+     creation (the per-sample fold was pure allocation: every [+.] in a
+     fold closure boxes its accumulator). *)
+  blk_w : float;
+  net_w : float;
 }
 
 let create ~benchmarks ~active_cpus ~blk_dom ~net_dom =
-  { benchmarks; active_cpus; blk_dom; net_dom }
+  (* Line 1 = block backend, line 2 = network backend. Device pressure
+     follows the benchmarks that are running. Folded in list order with
+     the same 0.01 floor so the partial sums -- and thus every draw --
+     match the previous per-sample computation bit for bit. *)
+  let blk_w =
+    List.fold_left
+      (fun acc (b : Workload.t) -> acc +. fst (Workload.device_share b.Workload.kind))
+      0.01 benchmarks
+  and net_w =
+    List.fold_left
+      (fun acc (b : Workload.t) -> acc +. snd (Workload.device_share b.Workload.kind))
+      0.01 benchmarks
+  in
+  {
+    benchmarks = Array.of_list benchmarks;
+    active_cpus = Array.of_list active_cpus;
+    blk_dom;
+    net_dom;
+    blk_w;
+    net_w;
+  }
 
 (* Category weights: guest entries dominate hypervisor execution time,
    followed by timer interrupts, device interrupts and scheduling. *)
@@ -25,33 +50,23 @@ let category_weights =
     (0.07, `Idle);
   ]
 
+let category_cum = Sim.Rng.cumulative category_weights
+let category_tags = Array.of_list (List.map snd category_weights)
+
 let sample rng t : Hyper.Hypervisor.activity =
   let random_cpu () =
-    match t.active_cpus with
-    | [] -> 0
-    | l -> List.nth l (Sim.Rng.int rng (List.length l))
+    match Array.length t.active_cpus with
+    | 0 -> 0
+    | n -> t.active_cpus.(Sim.Rng.int rng n)
   in
-  match Sim.Rng.choose_weighted rng category_weights with
+  match category_tags.(Sim.Rng.choose_index_cum rng category_cum) with
   | `Guest_entry ->
-    (match t.benchmarks with
-    | [] -> Hyper.Hypervisor.Idle_poll (random_cpu ())
-    | l ->
-      let b = List.nth l (Sim.Rng.int rng (List.length l)) in
-      Workload.sample_activity rng b)
+    (match Array.length t.benchmarks with
+    | 0 -> Hyper.Hypervisor.Idle_poll (random_cpu ())
+    | n -> Workload.sample_activity rng t.benchmarks.(Sim.Rng.int rng n))
   | `Timer_tick -> Hyper.Hypervisor.Timer_tick (random_cpu ())
   | `Device_interrupt ->
-    (* Line 1 = block backend, line 2 = network backend. Device pressure
-       follows the benchmarks that are running. *)
-    let blk_w =
-      List.fold_left
-        (fun acc (b : Workload.t) -> acc +. fst (Workload.device_share b.Workload.kind))
-        0.01 t.benchmarks
-    and net_w =
-      List.fold_left
-        (fun acc (b : Workload.t) -> acc +. snd (Workload.device_share b.Workload.kind))
-        0.01 t.benchmarks
-    in
-    let pick_blk = Sim.Rng.float rng (blk_w +. net_w) < blk_w in
+    let pick_blk = Sim.Rng.float rng (t.blk_w +. t.net_w) < t.blk_w in
     (match (pick_blk, t.blk_dom, t.net_dom) with
     | true, Some d, _ -> Hyper.Hypervisor.Device_interrupt { line = 1; target_dom = d }
     | false, _, Some d -> Hyper.Hypervisor.Device_interrupt { line = 2; target_dom = d }

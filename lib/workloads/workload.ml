@@ -74,9 +74,30 @@ let device_share = function
   | Unixbench -> (0.2, 0.1)
   | Netbench -> (0.1, 0.9)
 
+(* Sampling-time form of the menus: cumulative weights plus the tags in
+   list order, precomputed once per kind. [choose_index_cum] over these
+   draws exactly as [choose_weighted] over the lists above would (same
+   single float draw, same boundaries), without traversing a boxed-float
+   list per request. *)
+let menu_cum_unixbench = Sim.Rng.cumulative (hypercall_menu Unixbench)
+let menu_cum_blkbench = Sim.Rng.cumulative (hypercall_menu Blkbench)
+let menu_cum_netbench = Sim.Rng.cumulative (hypercall_menu Netbench)
+let menu_tags_unixbench = Array.of_list (List.map snd (hypercall_menu Unixbench))
+let menu_tags_blkbench = Array.of_list (List.map snd (hypercall_menu Blkbench))
+let menu_tags_netbench = Array.of_list (List.map snd (hypercall_menu Netbench))
+
+let menu_cum = function
+  | Unixbench -> menu_cum_unixbench
+  | Blkbench -> menu_cum_blkbench
+  | Netbench -> menu_cum_netbench
+
+let menu_tags = function
+  | Unixbench -> menu_tags_unixbench
+  | Blkbench -> menu_tags_blkbench
+  | Netbench -> menu_tags_netbench
+
 let sample_hypercall rng kind : Hyper.Hypercalls.kind =
-  let menu = hypercall_menu kind in
-  match Sim.Rng.choose_weighted rng menu with
+  match (menu_tags kind).(Sim.Rng.choose_index_cum rng (menu_cum kind)) with
   | `Mmu -> Hyper.Hypercalls.Mmu_update (1 + Sim.Rng.int rng 4)
   | `Va -> Hyper.Hypercalls.Update_va_mapping
   | `Mem_pop -> Hyper.Hypercalls.Memory_op_populate

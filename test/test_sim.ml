@@ -89,6 +89,39 @@ let test_rng_bit64_range () =
     checkb "bit in [0,64)" true (b >= 0 && b < 64)
   done
 
+(* The production generator computes splitmix64 on two 32-bit native-int
+   limbs (no Int64 boxing on the hot path). This pins it, bit for bit,
+   to the obvious Int64 reference implementation. *)
+let test_rng_matches_int64_reference () =
+  let reference seed =
+    let state = ref seed in
+    fun () ->
+      state := Int64.add !state 0x9E3779B97F4A7C15L;
+      let z = !state in
+      let z =
+        Int64.mul
+          (Int64.logxor z (Int64.shift_right_logical z 30))
+          0xBF58476D1CE4E5B9L
+      in
+      let z =
+        Int64.mul
+          (Int64.logxor z (Int64.shift_right_logical z 27))
+          0x94D049BB133111EBL
+      in
+      Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  List.iter
+    (fun seed ->
+      let next_ref = reference seed in
+      let r = Sim.Rng.create seed in
+      for i = 1 to 500 do
+        check Alcotest.int64
+          (Printf.sprintf "limb arithmetic matches Int64 reference (seed %Ld, draw %d)"
+             seed i)
+          (next_ref ()) (Sim.Rng.int64 r)
+      done)
+    [ 0L; 1L; 7L; -1L; 0x8000000000000000L; 0xDEADBEEFCAFEF00DL ]
+
 (* ------------------------- Clock ----------------------------------- *)
 
 let test_clock_starts_at_zero () =
@@ -182,6 +215,63 @@ let test_eventq_many () =
   in
   go ();
   checkb "monotone pop order" true !ok
+
+(* A queue that has been used, cleared and refilled must be
+   indistinguishable from a fresh one: same pop order, same seq
+   numbering (ties included), same cancellation behaviour. This is the
+   contract the entry free-list must preserve -- a recycled entry that
+   leaked state (stale seq, stale cancelled flag) would surface here. *)
+let test_eventq_reuse_equals_fresh () =
+  (* One deterministic script, interleaving pushes, cancels and pops;
+     returns the observable trace plus the seq each push was assigned. *)
+  let script q =
+    let trace = ref [] and seqs = ref [] in
+    let note ev = trace := ev :: !trace in
+    let push time payload =
+      let h = Sim.Event_queue.push q ~time payload in
+      seqs := h.Sim.Event_queue.seq :: !seqs;
+      h
+    in
+    let pop () =
+      match Sim.Event_queue.pop q with
+      | Some (t, v) -> note (Printf.sprintf "%d:%s" t v)
+      | None -> note "eof"
+    in
+    let ha = push 10 "a" in
+    let _ = push 10 "a-tie" in
+    let hb = push 5 "b" in
+    pop ();
+    Sim.Event_queue.cancel ha;
+    let _ = push 7 "c" in
+    pop ();
+    let hd = push 3 "d" in
+    Sim.Event_queue.cancel hd;
+    pop ();
+    (match Sim.Event_queue.peek_time q with
+    | Some t -> note (Printf.sprintf "peek:%d" t)
+    | None -> note "peek:none");
+    Sim.Event_queue.cancel hb;
+    pop ();
+    pop ();
+    (List.rev !trace, List.rev !seqs)
+  in
+  let fresh = Sim.Event_queue.create () in
+  let reused = Sim.Event_queue.create () in
+  (* Dirty the reused queue: fill, cancel some, pop some, then clear
+     mid-flight so parked entries carry stale seq/cancelled state. *)
+  let junk = ref [] in
+  for i = 1 to 40 do
+    junk := Sim.Event_queue.push reused ~time:(i * 3 mod 17) "junk" :: !junk
+  done;
+  List.iteri (fun i h -> if i mod 3 = 0 then Sim.Event_queue.cancel h) !junk;
+  for _ = 1 to 15 do
+    ignore (Sim.Event_queue.pop reused)
+  done;
+  Sim.Event_queue.clear reused;
+  let fresh_trace, fresh_seqs = script fresh in
+  let reused_trace, reused_seqs = script reused in
+  check (Alcotest.list Alcotest.string) "same pop order" fresh_trace reused_trace;
+  check (Alcotest.list Alcotest.int) "same seq numbering" fresh_seqs reused_seqs
 
 (* ------------------------- Engine ----------------------------------- *)
 
@@ -302,6 +392,8 @@ let () =
           Alcotest.test_case "weighted empty" `Quick test_rng_choose_weighted_empty;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "bit64 range" `Quick test_rng_bit64_range;
+          Alcotest.test_case "limb arithmetic matches Int64 reference" `Quick
+            test_rng_matches_int64_reference;
         ] );
       ( "clock",
         [
@@ -318,6 +410,8 @@ let () =
           Alcotest.test_case "cancel" `Quick test_eventq_cancel;
           Alcotest.test_case "peek time" `Quick test_eventq_peek_time;
           Alcotest.test_case "many events monotone" `Quick test_eventq_many;
+          Alcotest.test_case "reused queue equals fresh" `Quick
+            test_eventq_reuse_equals_fresh;
         ] );
       ( "engine",
         [
