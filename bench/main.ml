@@ -16,6 +16,7 @@ let obs_out = ref "OBS_campaign.json"
 let scaling_out = ref "BENCH_scaling.json"
 let endurance_out = ref "BENCH_endurance.json"
 let alloc_out = ref "BENCH_alloc.json"
+let snapshot_out = ref "BENCH_snapshot.json"
 let leak_budget = ref 8 (* max leaked pages per recovery in the smoke *)
 let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
 let max_words_per_run = ref 0.0 (* minor words/run ceiling in scaling; 0 = off *)
@@ -24,7 +25,7 @@ let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 
 (* campaign_smoke and scaling are perf-tracking targets, not part of the
    paper reproduction, so they only run when named explicitly. *)
-let perf_sections = [ "campaign_smoke"; "scaling"; "endurance"; "alloc" ]
+let perf_sections = [ "campaign_smoke"; "scaling"; "endurance"; "alloc"; "snapshot" ]
 
 let section name =
   if List.mem name perf_sections then List.mem name !sections
@@ -802,6 +803,191 @@ let endurance () =
   close_out oc;
   Format.printf "wrote %s@." !endurance_out
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot/restore benchmark: golden-image restore cost vs fresh boot  *)
+(* (by previous-run outcome class) and clone fan-out throughput vs      *)
+(* per-variant re-preparation, with fan-out aggregates asserted         *)
+(* bit-identical across --jobs. Written to BENCH_snapshot.json.         *)
+(* Gates: restore <= 15% of fresh-boot minor words; fan-out >= 2x the   *)
+(* re-prepare baseline at jobs=1.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_bench () =
+  hr "Snapshot/restore: O(changed-state) rewind and clone fan-out";
+  tune_gc_for_campaigns ();
+  let mech_nili =
+    Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set)
+  in
+  let base_cfg =
+    {
+      Inject.Run.default_config with
+      Inject.Run.fault = Inject.Fault.Register;
+      setup = Inject.Run.Three_appvm;
+      mech = mech_nili;
+      hv_config = Hyper.Config.nilihype;
+    }
+  in
+  (* --- Fresh boot cost: the baseline a snapshot restore replaces. --- *)
+  let boot_iters = if !full then 30 else 10 in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to boot_iters - 1 do
+    let seed = Int64.of_int (100_000 + i) in
+    ignore (Sys.opaque_identity (Inject.Run.boot_state { base_cfg with Inject.Run.seed }))
+  done;
+  let fresh_words = (Gc.minor_words () -. w0) /. float_of_int boot_iters in
+  let fresh_ns =
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int boot_iters
+  in
+  (* --- Restore cost, bucketed by the outcome class of the run that
+     dirtied the machine (the dirty set -- and hence the restore cost --
+     depends on how far the run got). [died] = detected but unrecovered,
+     the class that used to force a fresh boot. --- *)
+  let classes = Hashtbl.create 8 in
+  let record cls words ns =
+    let c, w, t =
+      match Hashtbl.find_opt classes cls with
+      | Some (c, w, t) -> (c, w, t)
+      | None -> (0, 0.0, 0.0)
+    in
+    Hashtbl.replace classes cls (c + 1, w +. words, t +. ns)
+  in
+  let total_restores = ref 0 and total_restore_words = ref 0.0 in
+  let measure_restores (cfg : Inject.Run.config) n seed0 =
+    let w = Inject.Run.prepare cfg in
+    for i = 0 to n - 1 do
+      let cfg = { cfg with Inject.Run.seed = Int64.of_int (seed0 + i) } in
+      let out = Inject.Run.execute_into w cfg in
+      let cls =
+        match out with
+        | Inject.Run.Detected d when not d.Inject.Run.recovered -> "died"
+        | o -> Inject.Run.outcome_name o
+      in
+      let w0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      Inject.Run.rewind w cfg;
+      let dw = Gc.minor_words () -. w0 in
+      let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+      incr total_restores;
+      total_restore_words := !total_restore_words +. dw;
+      record cls dw dt
+    done
+  in
+  let n_restore = if !full then 150 else 60 in
+  (* Register faults under NiLiHype cover non-manifested, SDC and
+     detected-recovered; no-recovery failstop runs cover [died]. *)
+  measure_restores base_cfg n_restore 100_000;
+  measure_restores
+    {
+      base_cfg with
+      Inject.Run.fault = Inject.Fault.Failstop;
+      mech = Inject.Run.No_recovery;
+      hv_config = Hyper.Config.stock;
+    }
+    (n_restore / 3) 100_000;
+  let restore_words = !total_restore_words /. float_of_int !total_restores in
+  let restore_fraction =
+    if fresh_words > 0.0 then restore_words /. fresh_words else 1.0
+  in
+  Format.printf "fresh boot : %10.0f minor words  %10.0f ns@." fresh_words
+    fresh_ns;
+  let class_rows =
+    List.sort compare
+      (Hashtbl.fold (fun cls acc l -> (cls, acc) :: l) classes [])
+  in
+  List.iter
+    (fun (cls, (c, w, t)) ->
+      Format.printf
+        "restore after %-15s %10.0f minor words  %10.0f ns  (n=%d)@." cls
+        (w /. float_of_int c)
+        (t /. float_of_int c)
+        c)
+    class_rows;
+  Format.printf "restore overall: %.0f words = %.1f%% of a fresh boot@."
+    restore_words
+    (100.0 *. restore_fraction);
+  (* --- Clone fan-out throughput vs per-variant re-preparation. The
+     warmup-heavy config makes preparation the dominant per-run cost,
+     which is the workload fan-out exists for: drive to the trigger
+     point once, replay many variants. The baseline pays that warmup for
+     every variant (the pre-fan-out behaviour). --- *)
+  let fanout = 8 in
+  let n = if !full then 240 else 96 in
+  let fan_cfg =
+    { base_cfg with Inject.Run.warmup_activities = 3600; post_activities = 150 }
+  in
+  let campaign ~fanout ~jobs ~oversubscribe =
+    Inject.Campaign.run
+      ~label:(Printf.sprintf "fanout=%d jobs=%d" fanout jobs)
+      ~base_seed:120_000L ~jobs ~oversubscribe ~fanout ~n fan_cfg
+  in
+  let reprep = campaign ~fanout:1 ~jobs:1 ~oversubscribe:false in
+  let fan = campaign ~fanout ~jobs:1 ~oversubscribe:false in
+  let reprep_rps = Inject.Campaign.runs_per_sec reprep in
+  let fan_rps = Inject.Campaign.runs_per_sec fan in
+  let fan_speedup = if reprep_rps > 0.0 then fan_rps /. reprep_rps else 0.0 in
+  Format.printf
+    "re-prepare baseline: %8.1f runs/s   fan-out x%d: %8.1f runs/s  \
+     (%.2fx)@."
+    reprep_rps fanout fan_rps fan_speedup;
+  (* --- Determinism: fan-out aggregates must be bit-identical for any
+     [jobs]. The >1 points oversubscribe so multiple worker domains
+     really run even on a single-core host. --- *)
+  let fan_snap = Inject.Campaign.snapshot fan.Inject.Campaign.totals in
+  List.iter
+    (fun jobs ->
+      let r = campaign ~fanout ~jobs ~oversubscribe:true in
+      if Inject.Campaign.snapshot r.Inject.Campaign.totals <> fan_snap then
+        failwith
+          (Printf.sprintf "snapshot: fanout jobs=%d aggregate differs from jobs=1"
+             jobs))
+    [ 2; 4 ];
+  Format.printf "fan-out totals bit-identical for jobs=1,2,4 (n=%d)@." n;
+  let oc = open_out !snapshot_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"snapshot\",\n\
+    \  \"fresh_boot_minor_words\": %.0f,\n\
+    \  \"fresh_boot_ns\": %.0f,\n\
+    \  \"restore_minor_words\": %.0f,\n\
+    \  \"restore_fraction_of_fresh_boot\": %.4f,\n\
+    \  \"restore_by_outcome\": {\n%s\n  },\n\
+    \  \"fanout\": %d,\n\
+    \  \"fanout_runs\": %d,\n\
+    \  \"reprepare_runs_per_sec\": %.2f,\n\
+    \  \"fanout_runs_per_sec\": %.2f,\n\
+    \  \"fanout_speedup\": %.2f,\n\
+    \  \"identical_totals\": true\n\
+     }\n"
+    fresh_words fresh_ns restore_words restore_fraction
+    (String.concat ",\n"
+       (List.map
+          (fun (cls, (c, w, t)) ->
+            Printf.sprintf
+              "    \"%s\": { \"minor_words\": %.0f, \"ns\": %.0f, \"runs\": %d }"
+              cls
+              (w /. float_of_int c)
+              (t /. float_of_int c)
+              c)
+          class_rows))
+    fanout n reprep_rps fan_rps fan_speedup;
+  close_out oc;
+  Format.printf "wrote %s@." !snapshot_out;
+  if restore_fraction > 0.15 then begin
+    Format.printf
+      "FAIL: restore costs %.1f%% of a fresh boot in minor words (ceiling \
+       15%%)@."
+      (100.0 *. restore_fraction);
+    exit 1
+  end;
+  if fan_speedup < 2.0 then begin
+    Format.printf
+      "FAIL: fan-out throughput %.2fx of the re-prepare baseline (floor \
+       2.00x)@."
+      fan_speedup;
+    exit 1
+  end
+
 let () =
   Arg.parse
     [
@@ -834,6 +1020,9 @@ let () =
       ( "--leak-budget",
         Arg.Set_int leak_budget,
         " max leaked pages per recovery tolerated by the endurance smoke" );
+      ( "--snapshot-out",
+        Arg.Set_string snapshot_out,
+        " output path for the snapshot/restore benchmark JSON record" );
     ]
     (fun s -> sections := s :: !sections)
     "bench/main.exe [--full] [--jobs N] [sections...]";
@@ -853,4 +1042,5 @@ let () =
   if section "scaling" then scaling ();
   if section "endurance" then endurance ();
   if section "alloc" then alloc ();
+  if section "snapshot" then snapshot_bench ();
   Format.printf "@.done.@."

@@ -4,7 +4,7 @@
 (* [jobs = 0] means "auto": one worker per recommended domain. *)
 let resolve_jobs jobs = if jobs > 0 then jobs else Inject.Pool.default_jobs ()
 
-let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~label =
+let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~fanout ~label =
   let mechanism, enh, hv_config =
     match mech with
     | `Nilihype ->
@@ -27,7 +27,7 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~label =
       hv_config;
     }
   in
-  let result = Inject.Campaign.run ~label ~base_seed:seed ~jobs ~n cfg in
+  let result = Inject.Campaign.run ~label ~base_seed:seed ~jobs ~fanout ~n cfg in
   Format.printf "%a" Inject.Campaign.pp result;
   (match Inject.Campaign.mean_latency result with
   | Some l -> Format.printf "mean recovery latency: %a@." Sim.Time.pp_float l
@@ -44,6 +44,7 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~label =
           ("runs", `Int n);
           ("base_seed", `Int (Int64.to_int seed));
           ("jobs", `Int result.Inject.Campaign.jobs);
+          ("fanout", `Int fanout);
           ("cores", `Int (Domain.recommended_domain_count ()));
         ]
       !Obs_cli.metrics_file
@@ -60,6 +61,7 @@ let () =
   let n = ref 200 in
   let seed = ref 10_000 in
   let jobs = ref 1 in
+  let fanout = ref 1 in
   let ladder = ref false in
   let spec =
     [
@@ -91,6 +93,9 @@ let () =
       ( "--jobs",
         Arg.Set_int jobs,
         " parallel worker domains (0 = one per core; default 1)" );
+      ( "--fanout",
+        Arg.Set_int fanout,
+        " fault variants cloned from each prepared snapshot (default 1)" );
       ("--ladder", Arg.Set ladder, " run the Table I enhancement ladder");
     ]
     @ Obs_cli.arg_specs
@@ -124,7 +129,7 @@ let () =
       Recovery.Enhancement.table1_ladder
   else
     run_campaign ~mech:!mech ~fault:!fault ~setup:!setup ~n:!n
-      ~seed:(Int64.of_int !seed) ~jobs:(resolve_jobs !jobs)
+      ~seed:(Int64.of_int !seed) ~jobs:(resolve_jobs !jobs) ~fanout:!fanout
       ~label:
         (Printf.sprintf "%s/%s"
            (match !mech with

@@ -432,6 +432,388 @@ let reboot_in_place t ~config ~setup ~vcpus_per_cpu =
   boot_target t ~setup ~vcpus_per_cpu
 
 (* ------------------------------------------------------------------ *)
+(* Copy-on-write golden snapshots                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [snapshot] captures a golden image of the mutable hypervisor state;
+   [restore] rewinds the same instance back to it in place. Cost model:
+   the page-frame table -- the only O(machine) structure -- is handled
+   copy-on-write inside [Pfn] (each descriptor carries its own golden
+   copy plus a dirty bit and mutators maintain a shared dirty list), so
+   snapshot and restore are O(changed frames) there; everything else
+   (domains, vcpus, locks, timers, per-CPU areas, hardware) is small and
+   constant-size and captured whole.
+
+   Constraints:
+   - One outstanding image per instance: taking a new snapshot refreshes
+     the pfn table's built-in golden copy, invalidating an older image's
+     pfn baseline. Restoring the *most recent* image is repeatable
+     (restore, run, restore again): each restore drains the dirty list,
+     later writes re-dirty.
+   - Snapshot at quiesce points only: an in-flight hypercall record
+     ([vcpu.in_hypercall]) is captured by reference, so interior
+     mutation of a record alive at snapshot time (sub-op progress, its
+     undo journal) would leak across a restore. Both harness snapshot
+     points (post-boot, post-warmup) have no in-flight hypercalls.
+   - The recorder ([t.obs]) is deliberately NOT part of the image:
+     callers pair [restore] with [Obs.Recorder.reset] (boot-time images)
+     or [Obs.Metrics.restore] (trigger-point clone fan-out).
+   - [step_hook] comes back as [None]; the harness reinstalls its CPU
+     tracker per run. *)
+
+type lock_image = {
+  il_lock : Spinlock.t;
+  il_holder : int option;
+  il_acquisitions : int;
+}
+
+let capture_lock (l : Spinlock.t) =
+  { il_lock = l; il_holder = l.Spinlock.holder; il_acquisitions = l.Spinlock.acquisitions }
+
+let restore_lock im =
+  im.il_lock.Spinlock.holder <- im.il_holder;
+  im.il_lock.Spinlock.acquisitions <- im.il_acquisitions
+
+type vcpu_image = {
+  iv_vcpu : Domain.vcpu;
+  iv_processor : int;
+  iv_runstate : Domain.runstate;
+  iv_is_current : bool;
+  iv_curr_slot : int;
+  iv_guest_regs : Hw.Regs.t;
+  iv_fsgs_valid : bool;
+  iv_in_hypercall : Hypercalls.record option;
+  iv_in_syscall_forward : bool;
+  iv_retry_pending : bool;
+  iv_syscall_retry_pending : bool;
+  iv_lost_work : bool;
+}
+
+type domain_image = {
+  id_dom : Domain.t; (* live record, reinserted into the table on restore *)
+  id_alive : bool;
+  id_struct_ok : bool;
+  id_guest_failed : bool;
+  id_guest_sdc : bool;
+  id_owned_frames : int list;
+  id_heap_objs : Heap.obj list;
+  id_vcpus : vcpu_image array;
+  id_evtchn : (bool * bool * bool) array; (* (bound, pending, masked) *)
+  id_evtchn_lock : lock_image;
+  id_grants : (bool * int * int) array; (* (in_use, frame, mapped_by) *)
+  id_grant_lock : lock_image;
+  id_page_lock : lock_image;
+}
+
+type heap_obj_image = { ih_obj : Heap.obj; ih_live : bool; ih_header_ok : bool }
+
+type timer_event_image = {
+  ie_event : Timer_heap.event;
+  ie_deadline : Sim.Time.ns;
+  ie_queued : bool;
+  ie_active : bool;
+}
+
+type percpu_image = {
+  ip_local_irq_count : int;
+  ip_in_hypercall_depth : int;
+  ip_curr_domid : int;
+  ip_curr_vcpuid : int;
+  ip_saved_guest_fsgs : (int64 * int64) option;
+  ip_heap_lock : lock_image;
+}
+
+type image = {
+  im_config : Config.t;
+  im_machine : Hw.Machine.image;
+  im_now : Sim.Time.ns;
+  (* Heap: scalars plus per-object field images, ascending oid so the
+     rebuilt table matches the snapshot-time table's insertion order
+     (boot allocates oids ascending and the initial capacity never
+     grows, so reinsertion reproduces iteration order exactly). *)
+  im_heap_next_oid : int;
+  im_heap_freelist_ok : bool;
+  im_heap_freelist_note : string;
+  im_heap_bytes_live : int;
+  im_heap_allocs : int;
+  im_heap_objs : heap_obj_image list;
+  im_static_locks : lock_image list;
+  im_percpu : percpu_image array;
+  (* Timer heap: the queued prefix (event refs in heap order) plus field
+     images for every event reachable at snapshot time. *)
+  im_timer_prefix : Timer_heap.event array;
+  im_timer_next_id : int;
+  im_timer_structure_ok : bool;
+  im_timer_recurring : Timer_heap.event list;
+  im_timer_events : timer_event_image list;
+  im_runq : Domain.vcpu list array;
+  im_curr : Domain.vcpu option array;
+  im_domains : domain_image list; (* ascending domid = boot insertion order *)
+  im_cycles_total : int;
+  im_cycles_logging : int;
+  im_cycles_entries : int;
+  im_watchdog_soft : int array;
+  im_need_resched : bool array;
+  im_time_sync_count : int;
+  im_next_domid : int;
+  im_static_data_ok : bool;
+  im_static_data_note : string;
+  im_recovery_handler_ok : bool;
+  im_bootline_ok : bool;
+  im_cur_activity : activity;
+  im_cur_cpu : int;
+  im_cur_step : int;
+}
+
+let capture_vcpu (v : Domain.vcpu) =
+  {
+    iv_vcpu = v;
+    iv_processor = v.Domain.processor;
+    iv_runstate = v.Domain.runstate;
+    iv_is_current = v.Domain.is_current;
+    iv_curr_slot = v.Domain.curr_slot;
+    iv_guest_regs = Hw.Regs.copy v.Domain.guest_regs;
+    iv_fsgs_valid = v.Domain.fsgs_valid;
+    iv_in_hypercall = v.Domain.in_hypercall;
+    iv_in_syscall_forward = v.Domain.in_syscall_forward;
+    iv_retry_pending = v.Domain.retry_pending;
+    iv_syscall_retry_pending = v.Domain.syscall_retry_pending;
+    iv_lost_work = v.Domain.lost_work;
+  }
+
+let restore_vcpu im =
+  let v = im.iv_vcpu in
+  v.Domain.processor <- im.iv_processor;
+  v.Domain.runstate <- im.iv_runstate;
+  v.Domain.is_current <- im.iv_is_current;
+  v.Domain.curr_slot <- im.iv_curr_slot;
+  Hw.Regs.restore ~from:im.iv_guest_regs v.Domain.guest_regs;
+  v.Domain.fsgs_valid <- im.iv_fsgs_valid;
+  v.Domain.in_hypercall <- im.iv_in_hypercall;
+  v.Domain.in_syscall_forward <- im.iv_in_syscall_forward;
+  v.Domain.retry_pending <- im.iv_retry_pending;
+  v.Domain.syscall_retry_pending <- im.iv_syscall_retry_pending;
+  v.Domain.lost_work <- im.iv_lost_work
+
+let capture_domain (d : Domain.t) =
+  {
+    id_dom = d;
+    id_alive = d.Domain.alive;
+    id_struct_ok = d.Domain.struct_ok;
+    id_guest_failed = d.Domain.guest_failed;
+    id_guest_sdc = d.Domain.guest_sdc;
+    id_owned_frames = d.Domain.owned_frames;
+    id_heap_objs = d.Domain.heap_objs;
+    id_vcpus = Array.map capture_vcpu d.Domain.vcpus;
+    id_evtchn =
+      Array.map
+        (fun (c : Evtchn.chan) -> (c.Evtchn.bound, c.Evtchn.pending, c.Evtchn.masked))
+        d.Domain.evtchn.Evtchn.chans;
+    id_evtchn_lock = capture_lock d.Domain.evtchn.Evtchn.lock;
+    id_grants =
+      Array.map
+        (fun (e : Grant.entry) -> (e.Grant.in_use, e.Grant.frame, e.Grant.mapped_by))
+        d.Domain.grants.Grant.entries;
+    id_grant_lock = capture_lock d.Domain.grants.Grant.lock;
+    id_page_lock = capture_lock d.Domain.page_lock;
+  }
+
+let restore_domain im =
+  let d = im.id_dom in
+  d.Domain.alive <- im.id_alive;
+  d.Domain.struct_ok <- im.id_struct_ok;
+  d.Domain.guest_failed <- im.id_guest_failed;
+  d.Domain.guest_sdc <- im.id_guest_sdc;
+  d.Domain.owned_frames <- im.id_owned_frames;
+  d.Domain.heap_objs <- im.id_heap_objs;
+  Array.iter restore_vcpu im.id_vcpus;
+  Array.iteri
+    (fun i (c : Evtchn.chan) ->
+      let bound, pending, masked = im.id_evtchn.(i) in
+      c.Evtchn.bound <- bound;
+      c.Evtchn.pending <- pending;
+      c.Evtchn.masked <- masked)
+    d.Domain.evtchn.Evtchn.chans;
+  restore_lock im.id_evtchn_lock;
+  Array.iteri
+    (fun i (e : Grant.entry) ->
+      let in_use, frame, mapped_by = im.id_grants.(i) in
+      e.Grant.in_use <- in_use;
+      e.Grant.frame <- frame;
+      e.Grant.mapped_by <- mapped_by)
+    d.Domain.grants.Grant.entries;
+  restore_lock im.id_grant_lock;
+  restore_lock im.id_page_lock
+
+let snapshot t =
+  Pfn.snapshot t.pfn;
+  let heap_objs =
+    List.sort
+      (fun a b -> compare a.ih_obj.Heap.oid b.ih_obj.Heap.oid)
+      (Hashtbl.fold
+         (fun _ (o : Heap.obj) acc ->
+           { ih_obj = o; ih_live = o.Heap.live; ih_header_ok = o.Heap.header_ok }
+           :: acc)
+         t.heap.Heap.objs [])
+  in
+  let static_locks = ref [] in
+  Spinlock.Segment.iter t.static_segment (fun l ->
+      static_locks := capture_lock l :: !static_locks);
+  let timers = t.timers in
+  let prefix = Array.sub timers.Timer_heap.arr 0 timers.Timer_heap.size in
+  let capture_event (e : Timer_heap.event) =
+    {
+      ie_event = e;
+      ie_deadline = e.Timer_heap.deadline;
+      ie_queued = e.Timer_heap.queued;
+      ie_active = e.Timer_heap.active;
+    }
+  in
+  {
+    im_config = t.config;
+    im_machine = Hw.Machine.snapshot t.machine;
+    im_now = Sim.Clock.now t.clock;
+    im_heap_next_oid = t.heap.Heap.next_oid;
+    im_heap_freelist_ok = t.heap.Heap.freelist_ok;
+    im_heap_freelist_note = t.heap.Heap.freelist_note;
+    im_heap_bytes_live = t.heap.Heap.bytes_live;
+    im_heap_allocs = t.heap.Heap.allocs;
+    im_heap_objs = heap_objs;
+    im_static_locks = !static_locks;
+    im_percpu =
+      Array.map
+        (fun (p : Percpu.t) ->
+          {
+            ip_local_irq_count = p.Percpu.local_irq_count;
+            ip_in_hypercall_depth = p.Percpu.in_hypercall_depth;
+            ip_curr_domid = p.Percpu.curr_domid;
+            ip_curr_vcpuid = p.Percpu.curr_vcpuid;
+            ip_saved_guest_fsgs = p.Percpu.saved_guest_fsgs;
+            ip_heap_lock = capture_lock p.Percpu.heap_lock;
+          })
+        t.percpu;
+    im_timer_prefix = prefix;
+    im_timer_next_id = timers.Timer_heap.next_id;
+    im_timer_structure_ok = timers.Timer_heap.structure_ok;
+    im_timer_recurring = timers.Timer_heap.recurring;
+    im_timer_events =
+      (* Field images for every event reachable at snapshot time: the
+         queued prefix plus the recurring registry (overlap is harmless,
+         the same values are written twice on restore). *)
+      Array.fold_left
+        (fun acc e -> capture_event e :: acc)
+        (List.map capture_event timers.Timer_heap.recurring)
+        prefix;
+    im_runq = Array.copy t.sched.Sched.runq;
+    im_curr = Array.copy t.sched.Sched.curr;
+    im_domains = List.map capture_domain (all_domains t);
+    im_cycles_total = t.cycles.Cycle_account.total;
+    im_cycles_logging = t.cycles.Cycle_account.logging;
+    im_cycles_entries = t.cycles.Cycle_account.entries;
+    im_watchdog_soft = Array.copy t.watchdog_soft;
+    im_need_resched = Array.copy t.need_resched_flags;
+    im_time_sync_count = t.time_sync_count;
+    im_next_domid = t.next_domid;
+    im_static_data_ok = t.static_data_ok;
+    im_static_data_note = t.static_data_note;
+    im_recovery_handler_ok = t.recovery_handler_ok;
+    im_bootline_ok = t.bootline_ok;
+    im_cur_activity = t.cur_activity;
+    im_cur_cpu = t.cur_cpu;
+    im_cur_step = t.cur_step;
+  }
+
+let restore t (im : image) =
+  Pfn.restore t.pfn;
+  t.config <- im.im_config;
+  Hw.Machine.restore t.machine im.im_machine;
+  t.clock.Sim.Clock.now <- im.im_now;
+  let heap = t.heap in
+  heap.Heap.next_oid <- im.im_heap_next_oid;
+  heap.Heap.freelist_ok <- im.im_heap_freelist_ok;
+  heap.Heap.freelist_note <- im.im_heap_freelist_note;
+  heap.Heap.bytes_live <- im.im_heap_bytes_live;
+  heap.Heap.allocs <- im.im_heap_allocs;
+  (* [Hashtbl.reset] restores initial capacity, and the image is oid-
+     ascending, so reinsertion reproduces the snapshot-time table's
+     iteration order exactly (same contract [reboot_in_place] relies
+     on for reset ≡ fresh boot). *)
+  Hashtbl.reset heap.Heap.objs;
+  List.iter
+    (fun i ->
+      i.ih_obj.Heap.live <- i.ih_live;
+      i.ih_obj.Heap.header_ok <- i.ih_header_ok;
+      Hashtbl.replace heap.Heap.objs i.ih_obj.Heap.oid i.ih_obj)
+    im.im_heap_objs;
+  List.iter restore_lock im.im_static_locks;
+  Array.iteri
+    (fun i (p : Percpu.t) ->
+      let s = im.im_percpu.(i) in
+      p.Percpu.local_irq_count <- s.ip_local_irq_count;
+      p.Percpu.in_hypercall_depth <- s.ip_in_hypercall_depth;
+      p.Percpu.curr_domid <- s.ip_curr_domid;
+      p.Percpu.curr_vcpuid <- s.ip_curr_vcpuid;
+      p.Percpu.saved_guest_fsgs <- s.ip_saved_guest_fsgs;
+      restore_lock s.ip_heap_lock)
+    t.percpu;
+  let timers = t.timers in
+  let size = Array.length im.im_timer_prefix in
+  (* The backing array only ever grows, so the snapshot prefix always
+     fits; slots past [size] are never read. *)
+  Array.blit im.im_timer_prefix 0 timers.Timer_heap.arr 0 size;
+  timers.Timer_heap.size <- size;
+  timers.Timer_heap.next_id <- im.im_timer_next_id;
+  timers.Timer_heap.structure_ok <- im.im_timer_structure_ok;
+  timers.Timer_heap.recurring <- im.im_timer_recurring;
+  List.iter
+    (fun ie ->
+      let e = ie.ie_event in
+      e.Timer_heap.deadline <- ie.ie_deadline;
+      e.Timer_heap.queued <- ie.ie_queued;
+      e.Timer_heap.active <- ie.ie_active)
+    im.im_timer_events;
+  Array.blit im.im_runq 0 t.sched.Sched.runq 0 (Array.length im.im_runq);
+  Array.blit im.im_curr 0 t.sched.Sched.curr 0 (Array.length im.im_curr);
+  Hashtbl.reset t.domains;
+  List.iter
+    (fun di ->
+      restore_domain di;
+      Hashtbl.replace t.domains di.id_dom.Domain.domid di.id_dom)
+    im.im_domains;
+  t.cycles.Cycle_account.total <- im.im_cycles_total;
+  t.cycles.Cycle_account.logging <- im.im_cycles_logging;
+  t.cycles.Cycle_account.entries <- im.im_cycles_entries;
+  Array.blit im.im_watchdog_soft 0 t.watchdog_soft 0
+    (Array.length im.im_watchdog_soft);
+  Array.blit im.im_need_resched 0 t.need_resched_flags 0
+    (Array.length im.im_need_resched);
+  t.time_sync_count <- im.im_time_sync_count;
+  t.next_domid <- im.im_next_domid;
+  t.static_data_ok <- im.im_static_data_ok;
+  t.static_data_note <- im.im_static_data_note;
+  t.recovery_handler_ok <- im.im_recovery_handler_ok;
+  t.bootline_ok <- im.im_bootline_ok;
+  t.step_hook <- None;
+  t.cur_activity <- im.im_cur_activity;
+  t.cur_cpu <- im.im_cur_cpu;
+  t.cur_step <- im.im_cur_step;
+  (* Mirror [reboot_in_place]: the indexed-name tables depend only on
+     the ABI sub-op limit, rebuilt only if the restored config moved it. *)
+  if
+    Array.length t.pte_write_names
+    <> im.im_config.Config.max_hypercall_subops + 1
+  then begin
+    t.pte_write_names <-
+      indexed_names "pte_write_" im.im_config.Config.max_hypercall_subops;
+    t.grant_map_names <-
+      indexed_names "grant_map_" im.im_config.Config.max_hypercall_subops;
+    t.ring_io_names <-
+      indexed_names "ring_io_" im.im_config.Config.max_hypercall_subops;
+    t.grant_unmap_names <-
+      indexed_names "grant_unmap_" im.im_config.Config.max_hypercall_subops
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The stepper: instrumented micro-step execution                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -592,7 +974,10 @@ let exec_mmu_update t journal (dom : Domain.t) (record : Hypercalls.record)
       journal_log t journal (Journal.Owner_change (od, od.Pfn.owner));
       journal_log t journal (Journal.Use_count_delta (od, -1));
       Pfn.put_page od;
-      if od.Pfn.use_count > 0 then od.Pfn.ptype <- Pfn.Writable
+      if od.Pfn.use_count > 0 then begin
+        Pfn.touch od;
+        od.Pfn.ptype <- Pfn.Writable
+      end
     end
     else
       (* Retry without undo: double unpin. *)

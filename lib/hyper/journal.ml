@@ -49,12 +49,25 @@ let entry_kind = function
   | Counter_delta _ -> "counter_delta"
   | Undo_fn _ -> "undo_fn"
 
+(* The Pfn arms write descriptor fields directly (not through the Pfn
+   mutators), so they must mark the descriptor dirty themselves for the
+   snapshot layer. *)
 let undo_entry = function
-  | Use_count_delta (d, delta) -> d.Pfn.use_count <- d.Pfn.use_count - delta
-  | Validated_set d -> d.Pfn.validated <- false
-  | Validated_cleared d -> d.Pfn.validated <- true
-  | Type_change (d, prev) -> d.Pfn.ptype <- prev
-  | Owner_change (d, prev) -> d.Pfn.owner <- prev
+  | Use_count_delta (d, delta) ->
+    Pfn.touch d;
+    d.Pfn.use_count <- d.Pfn.use_count - delta
+  | Validated_set d ->
+    Pfn.touch d;
+    d.Pfn.validated <- false
+  | Validated_cleared d ->
+    Pfn.touch d;
+    d.Pfn.validated <- true
+  | Type_change (d, prev) ->
+    Pfn.touch d;
+    d.Pfn.ptype <- prev
+  | Owner_change (d, prev) ->
+    Pfn.touch d;
+    d.Pfn.owner <- prev
   | Counter_delta (r, delta) -> r := !r - delta
   | Undo_fn f -> f ()
 

@@ -165,9 +165,23 @@ type acc = {
    worker recorder: the merged [totals.metrics] then carry the [alloc.*]
    phase counters (still jobs-invariant -- each run's attribution depends
    only on its seed). Off by default: the phase counters stay zero and
-   snapshots are unchanged. *)
+   snapshots are unchanged.
+
+   [fanout >= 2] switches to clone fan-out: runs are grouped into
+   batches of that size, each batch drives one machine to the fault
+   trigger point once ({!Run.prepare_clone}) and replays the trigger
+   image for every run in the batch ({!Run.clone_into}), paying the
+   boot-and-warmup cost once per batch instead of once per run. Each
+   run still injects under its own seed's random stream, so outcomes
+   within a batch differ; the batch's warmup comes from its first run's
+   seed, so a fan-out campaign is its own (equally valid, equally
+   deterministic) sampling design rather than a replay of the
+   [fanout = 1] campaign. Batches never split across workers, so the
+   aggregate stays bit-identical for every [jobs] value. *)
 let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
-    ?(oversubscribe = false) ?(alloc_profile = false) ~n (cfg : Run.config) =
+    ?(oversubscribe = false) ?(alloc_profile = false) ?(fanout = 1) ~n
+    (cfg : Run.config) =
+  if fanout < 1 then invalid_arg "Campaign.run: fanout must be >= 1";
   let t0 = Unix.gettimeofday () in
   let init () =
     {
@@ -177,31 +191,54 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
       acc_minor_words = 0.0;
     }
   in
-  let run_one acc i =
-    let seed = Int64.add base_seed (Int64.of_int i) in
-    let cfg = { cfg with Run.seed } in
-    let w =
-      match acc.acc_worker with
-      | Some w -> w
-      | None ->
-        (* A tiny per-worker recorder: the campaign keeps only the
-           metrics, so the event ring is minimal; metrics collection is
-           unconditional. Reset between runs by [execute_into]. *)
-        let recorder =
-          Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
-        in
-        Obs.Recorder.set_alloc_profiling recorder alloc_profile;
-        let w = Run.prepare ~recorder cfg in
-        acc.acc_worker <- Some w;
-        w
-    in
-    add_outcome acc.acc_totals (Run.execute_into w cfg);
+  let worker_of acc (cfg : Run.config) =
+    match acc.acc_worker with
+    | Some w -> w
+    | None ->
+      (* A tiny per-worker recorder: the campaign keeps only the
+         metrics, so the event ring is minimal; metrics collection is
+         unconditional. Reset between runs by [execute_into]. *)
+      let recorder =
+        Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
+      in
+      Obs.Recorder.set_alloc_profiling recorder alloc_profile;
+      let w = Run.prepare ~recorder cfg in
+      acc.acc_worker <- Some w;
+      w
+  in
+  let merge_run_metrics acc w =
     acc.acc_totals.metrics <-
       Obs.Metrics.merge_snapshots acc.acc_totals.metrics
         (Obs.Recorder.metrics_snapshot (Run.worker_recorder w))
   in
+  let seed_of i = Int64.add base_seed (Int64.of_int i) in
+  let run_one acc i =
+    let cfg = { cfg with Run.seed = seed_of i } in
+    let w = worker_of acc cfg in
+    add_outcome acc.acc_totals (Run.execute_into w cfg);
+    merge_run_metrics acc w
+  in
+  (* One fan-out batch: runs [g * fanout .. min n ((g+1) * fanout) - 1],
+     prepared once and cloned per run. A batch is a single [body] call,
+     so the pool can never split it across workers -- the per-batch
+     results depend only on (config, base_seed, g, fanout). *)
+  let run_batch acc g =
+    let first = g * fanout in
+    let last = min n (first + fanout) - 1 in
+    let group_cfg = { cfg with Run.seed = seed_of first } in
+    let w = worker_of acc group_cfg in
+    let src = Run.prepare_clone w group_cfg in
+    for i = first to last do
+      add_outcome acc.acc_totals (Run.clone_into ~reseed:(seed_of i) src);
+      merge_run_metrics acc w
+    done
+  in
+  let pool_n, body =
+    if fanout > 1 then (((n + fanout - 1) / fanout), run_batch)
+    else (n, run_one)
+  in
   let acc =
-    Pool.map_reduce ~jobs ?chunk ~oversubscribe ~n ~init ~body:run_one
+    Pool.map_reduce ~jobs ?chunk ~oversubscribe ~n:pool_n ~init ~body
       ~finish:(fun acc ->
         (* [Gc.minor_words] is per-domain in OCaml 5, so the delta must be
            taken here, in the worker's own domain. *)
@@ -214,9 +251,9 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
   in
   let used_jobs =
     (* Mirror the pool's clamps so the report shows the worker count
-       that actually ran: bounded by [n] and, unless oversubscribing,
-       by the core count. *)
-    let j = max 1 (min jobs (max 1 n)) in
+       that actually ran: bounded by the work-item count and, unless
+       oversubscribing, by the core count. *)
+    let j = max 1 (min jobs (max 1 pool_n)) in
     if oversubscribe then j else min j (Pool.default_jobs ())
   in
   {

@@ -52,6 +52,7 @@ let apply hv rng target =
       if d.Pfn.use_count > 0 || tries > 16 then d else pick (tries + 1)
     in
     let d = pick 0 in
+    Pfn.touch d;
     d.Pfn.validated <- not d.Pfn.validated
   | Pfn_use_count_skew ->
     let frames = Hypervisor.frames hv in
@@ -61,6 +62,7 @@ let apply hv rng target =
     in
     let d = pick 0 in
     let delta = [| -2; -1; 1; 2 |].(Sim.Rng.int rng 4) in
+    Pfn.touch d;
     d.Pfn.use_count <- d.Pfn.use_count + delta
   | Sched_metadata ->
     let vcpus = Hypervisor.all_vcpus hv in

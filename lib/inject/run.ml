@@ -135,15 +135,18 @@ let make_state cfg rng (hv : Hypervisor.t) =
   in
   { cfg; rng; hv; mix; benchmarks; last_cpu = 0; fault_applied = false }
 
-let boot_state ?recorder cfg =
-  let rng = Sim.Rng.create cfg.seed in
+(* Boot the hypervisor for [cfg] on a fresh clock. The single boot
+   construction shared by the fresh-boot path ([boot_state]), the worker
+   path ([prepare]) and the worker's geometry-change rebuild, so all
+   three see the same machine. *)
+let boot_hv ?recorder (cfg : config) =
   let clock = Sim.Clock.create () in
-  let hv =
-    Hypervisor.boot ~mconfig:cfg.mconfig ?obs:recorder
-      ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config
-      ~setup:(hv_setup_of cfg) clock
-  in
-  make_state cfg rng hv
+  Hypervisor.boot ~mconfig:cfg.mconfig ?obs:recorder
+    ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config
+    ~setup:(hv_setup_of cfg) clock
+
+let boot_state ?recorder cfg =
+  make_state cfg (Sim.Rng.create cfg.seed) (boot_hv ?recorder cfg)
 
 (* Execute one sampled activity. Timer ticks fire when the APIC deadline
    arrives, so the clock jumps there first; a CPU whose APIC is disarmed
@@ -397,9 +400,13 @@ let post_recovery_phase st =
      fail ("post-recovery crash: " ^ Crash.describe d));
   (!hv_ok, !new_vm_ok, !reason)
 
-(* The run proper, over an already-booted (fresh or reset-in-place)
-   machine: warm up, arm the trigger, run to detection, recover, classify. *)
-let run_prepared st : outcome =
+(* First half of a run: warm the machine up to the fault trigger point.
+   Returns the AppVM domids present before injection (the set the
+   outcome classification counts casualties against). Split from
+   [finish_prepared] so clone fan-out can drive one machine to exactly
+   this point, snapshot it, and replay many fault variants from the
+   image. *)
+let warmup_prepared st =
   let cfg = st.cfg in
   let obs = st.hv.Hypervisor.obs in
   install_cpu_tracker st;
@@ -410,11 +417,14 @@ let run_prepared st : outcome =
   for _ = 1 to cfg.warmup_activities do
     run_one_activity st
   done;
-  let initial_app_domids =
-    List.map
-      (fun (d : Domain.t) -> d.Domain.domid)
-      (Hypervisor.app_domains st.hv)
-  in
+  List.map
+    (fun (d : Domain.t) -> d.Domain.domid)
+    (Hypervisor.app_domains st.hv)
+
+(* Second half: arm the trigger, run to detection, recover, classify. *)
+let finish_prepared st ~initial_app_domids : outcome =
+  let cfg = st.cfg in
+  let obs = st.hv.Hypervisor.obs in
   (* The armed trigger window counts as injection, detected or not. *)
   Obs.Recorder.alloc_phase obs Obs.Recorder.Injection;
   arm_fault st;
@@ -535,6 +545,10 @@ let run_prepared st : outcome =
   Obs.Recorder.alloc_close obs;
   out
 
+(* The run proper, over an already-booted (fresh or restored) machine. *)
+let run_prepared st : outcome =
+  finish_prepared st ~initial_app_domids:(warmup_prepared st)
+
 (* Execute one complete fault-injection run on a freshly booted machine.
    [recorder] (optional) is the observability recorder the run's
    hypervisor reports into; callers that want the trace/spans/metrics of
@@ -552,43 +566,109 @@ let run (cfg : config) : outcome = run_obs cfg
 (* ------------------------------------------------------------------ *)
 
 (* A worker owns one machine plus the per-run scratch (RNG, recorder)
-   and reuses them across runs: [execute_into] rewinds everything via
-   [Hypervisor.reboot_in_place] instead of reconstructing it, cutting
-   per-run allocation by an order of magnitude -- which is what lets
-   parallel campaigns scale instead of serialising on the OCaml 5
-   stop-the-world minor GC. The contract (enforced by tests): a run
-   through [execute_into] is observationally identical to [run_obs] on a
-   fresh machine with the same config -- outcomes, stats and metric
-   snapshots all match bit for bit. *)
+   and reuses them across runs: [execute_into] rewinds everything by
+   restoring a golden post-boot snapshot instead of reconstructing it
+   (or even re-walking every table the way [Hypervisor.reboot_in_place]
+   does), cutting the per-run reset to O(state the previous run touched)
+   -- which is what lets parallel campaigns scale instead of serialising
+   on the OCaml 5 stop-the-world minor GC. The contract (enforced by
+   tests): a run through [execute_into] is observationally identical to
+   [run_obs] on a fresh machine with the same config -- outcomes, stats
+   and metric snapshots all match bit for bit, including after runs that
+   died unrecovered.
+
+   [w_boot_key] is the part of the config a golden image bakes in: runs
+   that share it rewind through [Hypervisor.restore]; a mismatch falls
+   back to reset-in-place (or a full boot when the machine geometry
+   itself changed) and retakes the image. *)
+type boot_key = {
+  bk_hv_config : Config.t;
+  bk_setup : Hypervisor.setup;
+  bk_vcpus_per_cpu : int;
+}
+
 type worker = {
   w_recorder : Obs.Recorder.t option;
   w_rng : Sim.Rng.t;
   mutable w_mconfig : Hw.Machine.config; (* geometry the machine was built with *)
   mutable w_hv : Hypervisor.t;
+  mutable w_boot_key : boot_key;
+  mutable w_image : Hypervisor.image; (* golden snapshot, boot or trigger point *)
+  mutable w_image_is_boot : bool;
+      (* [w_image] is a post-boot image for [w_boot_key]; clone fan-out
+         swaps in trigger-point images, after which a plain rewind must
+         fall back to reset-in-place to get a booted machine again *)
+  mutable w_golden_ledger : Ledger.t option; (* captured with the image when auditing *)
+  mutable w_audit_restores : bool;
 }
 
-let prepare ?recorder (cfg : config) =
-  let clock = Sim.Clock.create () in
-  let hv =
-    Hypervisor.boot ~mconfig:cfg.mconfig ?obs:recorder
-      ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config
-      ~setup:(hv_setup_of cfg) clock
-  in
+let boot_key_of (cfg : config) =
   {
-    w_recorder = recorder;
-    w_rng = Sim.Rng.create cfg.seed;
-    w_mconfig = cfg.mconfig;
-    w_hv = hv;
+    bk_hv_config = cfg.hv_config;
+    bk_setup = hv_setup_of cfg;
+    bk_vcpus_per_cpu = cfg.vcpus_per_cpu;
   }
+
+(* (Re)take the worker's golden image at the machine's current state --
+   always a freshly-booted quiesce point. When restore auditing is on,
+   the resource ledger is captured alongside: it is the baseline every
+   audited restore must come back to exactly. *)
+let retake_image w =
+  w.w_image <- Hypervisor.snapshot w.w_hv;
+  w.w_image_is_boot <- true;
+  w.w_golden_ledger <-
+    (if w.w_audit_restores then Some (Ledger.capture w.w_hv) else None)
+
+(* Opt-in zero-leak audit at restore points: after every snapshot
+   restore, recapture the ledger and require the orphan view to be
+   exactly the image's -- no orphaned frames, held locks, lost recurring
+   timers etc. may survive a rewind, whatever the previous run did
+   (fault-free, recovered, or died). [Ledger.capture] walks the whole
+   frame table, so this deliberately stays off in production campaigns
+   and is exercised by the tests. *)
+let set_restore_audit w flag =
+  w.w_audit_restores <- flag;
+  w.w_golden_ledger <-
+    (if flag then Some (Ledger.capture w.w_hv) else None)
+
+let check_restore_leaks w =
+  match w.w_golden_ledger with
+  | None -> ()
+  | Some golden ->
+    let d = Ledger.diff ~before:golden ~after:(Ledger.capture w.w_hv) in
+    if not (Ledger.no_leak d) then
+      failwith
+        (Format.asprintf "Run: resources leaked across snapshot restore: %a"
+           Ledger.pp_diff d)
+
+let prepare ?recorder (cfg : config) =
+  let hv = boot_hv ?recorder cfg in
+  let w =
+    {
+      w_recorder = recorder;
+      w_rng = Sim.Rng.create cfg.seed;
+      w_mconfig = cfg.mconfig;
+      w_hv = hv;
+      w_boot_key = boot_key_of cfg;
+      w_image = Hypervisor.snapshot hv;
+      w_image_is_boot = true;
+      w_golden_ledger = None;
+      w_audit_restores = false;
+    }
+  in
+  w
 
 (* The recorder the worker's next run will report into: inspect or export
    it after [execute_into] returns. *)
 let worker_recorder w = w.w_hv.Hypervisor.obs
 
 (* Rewind the worker to a freshly-booted machine for [cfg]: reseed the
-   RNG and reset the machine in place (or boot a replacement when the
-   geometry changed). Also used directly by the endurance driver, which
-   then runs its own multi-cycle scenario instead of [run_prepared]. *)
+   RNG and restore the golden boot image -- O(state the previous run
+   dirtied), not O(machine). Runs whose boot parameters differ from the
+   image's fall back to reset-in-place (same boot, different config) or
+   a replacement boot (different geometry) and retake the image. Also
+   used directly by the endurance driver, which then runs its own
+   multi-cycle scenario instead of [run_prepared]. *)
 let rewind w (cfg : config) =
   Sim.Rng.reseed w.w_rng cfg.seed;
   if cfg.mconfig <> w.w_mconfig then begin
@@ -597,20 +677,102 @@ let rewind w (cfg : config) =
     (match w.w_recorder with
     | Some r -> Obs.Recorder.reset r
     | None -> ());
-    let clock = Sim.Clock.create () in
-    w.w_hv <-
-      Hypervisor.boot ~mconfig:cfg.mconfig ?obs:w.w_recorder
-        ~vcpus_per_cpu:cfg.vcpus_per_cpu ~config:cfg.hv_config
-        ~setup:(hv_setup_of cfg) clock;
-    w.w_mconfig <- cfg.mconfig
+    w.w_hv <- boot_hv ?recorder:w.w_recorder cfg;
+    w.w_mconfig <- cfg.mconfig;
+    w.w_boot_key <- boot_key_of cfg;
+    retake_image w
   end
-  else
+  else if boot_key_of cfg <> w.w_boot_key || not w.w_image_is_boot then begin
+    (* The golden image is unusable: either it was taken for different
+       boot parameters, or a clone fan-out replaced it with a trigger-
+       point image. Reset in place and retake it. *)
     Hypervisor.reboot_in_place w.w_hv ~config:cfg.hv_config
-      ~setup:(hv_setup_of cfg) ~vcpus_per_cpu:cfg.vcpus_per_cpu
+      ~setup:(hv_setup_of cfg) ~vcpus_per_cpu:cfg.vcpus_per_cpu;
+    w.w_boot_key <- boot_key_of cfg;
+    retake_image w
+  end
+  else begin
+    (* The fast path, taken for every run of a homogeneous campaign --
+       including after [died]/unrecovered outcomes, which used to force
+       a fresh boot's worth of work. The recorder is not part of the
+       image; reset it by hand ([reboot_in_place] does the same). *)
+    Obs.Recorder.reset w.w_hv.Hypervisor.obs;
+    Hypervisor.restore w.w_hv w.w_image;
+    check_restore_leaks w
+  end
 
 let execute_into w (cfg : config) : outcome =
-  (* Mark before the rewind so the reset-in-place cost lands in the boot
-     phase (the mark survives the recorder reset inside the rewind). *)
+  (* Mark before the rewind so the reset cost lands in the boot phase
+     (the mark survives the recorder reset inside the rewind). *)
   Obs.Recorder.alloc_begin w.w_hv.Hypervisor.obs;
   rewind w cfg;
   run_prepared (make_state cfg w.w_rng w.w_hv)
+
+(* ------------------------------------------------------------------ *)
+(* Clone fan-out: one warmed-up image, many fault variants              *)
+(* ------------------------------------------------------------------ *)
+
+(* A trigger-point clone source: the machine driven to the fault trigger
+   point exactly once, plus everything [finish_prepared] needs to replay
+   from there -- the hypervisor image, the metric values accumulated so
+   far (fan-out variants must start from them or their per-run metric
+   deltas would differ from a fresh run's), the RNG position and the
+   harness scalars. *)
+type clone_source = {
+  cs_worker : worker;
+  cs_state : state;
+  cs_initial_app_domids : int list;
+  cs_image : Hypervisor.image;
+  cs_metrics : Obs.Metrics.snapshot;
+  cs_rng_pos : int64;
+  cs_last_cpu : int;
+}
+
+(* Drive the worker's machine to the trigger point for [cfg] (rewind,
+   boot bookkeeping, warmup) and snapshot it there. The returned source
+   replays with [clone_into]. A hypervisor carries one copy-on-write
+   baseline at a time, so this snapshot supersedes the worker's golden
+   boot image; [w_image] is re-armed with the trigger image to keep the
+   worker's restore paths coherent. *)
+let prepare_clone (w : worker) (cfg : config) : clone_source =
+  Obs.Recorder.alloc_begin w.w_hv.Hypervisor.obs;
+  rewind w cfg;
+  let st = make_state cfg w.w_rng w.w_hv in
+  let initial_app_domids = warmup_prepared st in
+  (* Quiesce for the snapshot: the tracker hook is reinstalled (and the
+     trigger armed over it) by each variant. *)
+  st.hv.Hypervisor.step_hook <- None;
+  let image = Hypervisor.snapshot st.hv in
+  w.w_image <- image;
+  w.w_image_is_boot <- false;
+  {
+    cs_worker = w;
+    cs_state = st;
+    cs_initial_app_domids = initial_app_domids;
+    cs_image = image;
+    cs_metrics = Obs.Recorder.metrics_snapshot st.hv.Hypervisor.obs;
+    cs_rng_pos = Sim.Rng.save w.w_rng;
+    cs_last_cpu = st.last_cpu;
+  }
+
+(* Replay one fault variant from the trigger-point image. [reseed]
+   selects the variant: it rewinds the RNG to the trigger point by
+   default (identical twins) or forks the stream for distinct variants.
+   The first replay runs directly on the just-prepared machine; later
+   ones restore the image first -- O(what the previous variant touched).
+   Each variant's run records into the worker recorder exactly what a
+   fresh full run with the same post-trigger stream would have recorded. *)
+let clone_into ?reseed (src : clone_source) : outcome =
+  let st = src.cs_state in
+  let w = src.cs_worker in
+  Obs.Recorder.alloc_begin st.hv.Hypervisor.obs;
+  Hypervisor.restore st.hv src.cs_image;
+  let r = st.hv.Hypervisor.obs in
+  Obs.Recorder.reset r;
+  Obs.Metrics.restore r.Obs.Recorder.metrics src.cs_metrics;
+  check_restore_leaks w;
+  Sim.Rng.reseed st.rng
+    (match reseed with Some s -> s | None -> src.cs_rng_pos);
+  st.fault_applied <- false;
+  st.last_cpu <- src.cs_last_cpu;
+  finish_prepared st ~initial_app_domids:src.cs_initial_app_domids

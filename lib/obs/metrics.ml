@@ -163,6 +163,57 @@ let snapshot t =
     histograms = by_name !histograms;
   }
 
+(* Write a snapshot's values back into a live registry: the restore half
+   of the snapshot/restore pair used by clone fan-out (a fresh variant
+   must start from exactly the trigger-point metric values, or the
+   per-run metric deltas it contributes would differ from a fresh run's).
+   Instruments are zeroed first, so snapshot names absent from the
+   registry are an error and registry names absent from the snapshot end
+   up at zero -- matching a registry that was reset and replayed. *)
+let restore t s =
+  reset t;
+  let find kind name =
+    match Hashtbl.find_opt t.table name with
+    | Some i -> i
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics.restore: %s %S not registered" kind name)
+  in
+  List.iter
+    (fun (name, v) ->
+      match find "counter" name with
+      | Counter c -> c.count <- v
+      | other ->
+        invalid_arg
+          (Printf.sprintf "Metrics.restore: %S is a %s, snapshot has a counter"
+             name (kind_name other)))
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      match find "gauge" name with
+      | Gauge g -> g.value <- v
+      | other ->
+        invalid_arg
+          (Printf.sprintf "Metrics.restore: %S is a %s, snapshot has a gauge"
+             name (kind_name other)))
+    s.gauges;
+  List.iter
+    (fun (name, hs) ->
+      match find "histogram" name with
+      | Histogram h ->
+        if Array.to_list h.bounds <> hs.h_bounds then
+          invalid_arg
+            (Printf.sprintf "Metrics.restore: histogram %S bounds mismatch" name);
+        List.iteri (fun i v -> h.counts.(i) <- v) hs.h_counts;
+        h.sum <- hs.h_sum;
+        h.samples <- hs.h_samples
+      | other ->
+        invalid_arg
+          (Printf.sprintf
+             "Metrics.restore: %S is a %s, snapshot has a histogram" name
+             (kind_name other)))
+    s.histograms
+
 (* Merge two name-sorted assoc lists, combining values of shared keys. *)
 let rec merge_assoc combine a b =
   match (a, b) with

@@ -46,6 +46,15 @@ let reseed t seed =
   t.hi <- Int64.to_int (Int64.shift_right_logical seed 32);
   t.lo <- Int64.to_int (Int64.logand seed 0xFFFFFFFFL)
 
+(* Capture the current stream position as a seed value: [reseed t (save t)]
+   is the identity, and [create (save t)] clones the remaining stream.
+   Together with [reseed] this is the snapshot/restore pair -- one boxed
+   Int64 per save, nothing per restore. *)
+let save t =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.hi) 32)
+    (Int64.of_int t.lo)
+
 (* (hi, lo) * C mod 2^64, where C is given as four 16-bit digits
    (b0 least significant); result into out_hi/out_lo. Six 32x16-bit
    partial products (each < 2^48, sums < 2^51, so nothing overflows the

@@ -17,6 +17,11 @@ val reseed : t -> int64 -> unit
     as if it had been created with [create seed]. Lets long-lived
     workers reuse one generator across runs without allocating. *)
 
+val save : t -> int64
+(** Capture the current stream position: [reseed t (save t)] is the
+    identity, so [save]/[reseed] snapshot and restore a generator
+    without touching its remaining stream. *)
+
 val split : t -> t
 (** Derive a statistically independent child generator, advancing the
     parent by one step. Used to give each subsystem its own stream. *)

@@ -404,6 +404,147 @@ let test_campaign_minor_words_recorded () =
   checkb "parallel minor words measured" true
     (par.Inject.Campaign.minor_words > 0.0)
 
+(* ------------------------- Snapshots & clone fan-out ----------------- *)
+
+let test_rng_save_roundtrip () =
+  let rng = Sim.Rng.create 77L in
+  for _ = 1 to 5 do
+    ignore (Sim.Rng.int64 rng)
+  done;
+  let pos = Sim.Rng.save rng in
+  let draw () =
+    let a = Array.make 8 0L in
+    for i = 0 to 7 do
+      a.(i) <- Sim.Rng.int64 rng
+    done;
+    a
+  in
+  let a = draw () in
+  Sim.Rng.reseed rng pos;
+  checkb "save/reseed replays the stream" true (a = draw ())
+
+(* Snapshot-after-snapshot and restore repeatability at the hypervisor
+   level: retaking a snapshot moves the golden baseline; restoring the
+   latest image is exact (resource ledger and clock match) and
+   repeatable, and replaying the same RNG stream from the image
+   reproduces the diverged state bit for bit. *)
+let test_snapshot_after_snapshot () =
+  let hv = boot () in
+  let rng = Sim.Rng.create 11L in
+  let step () =
+    Hyper.Hypervisor.execute hv rng
+      (Hyper.Hypervisor.Hypercall
+         { domid = 1; vid = 0; kind = Hyper.Hypercalls.Update_va_mapping })
+  in
+  let fingerprint () =
+    (Hyper.Ledger.capture hv, Sim.Clock.now hv.Hyper.Hypervisor.clock)
+  in
+  ignore (Hyper.Hypervisor.snapshot hv);
+  for _ = 1 to 40 do
+    step ()
+  done;
+  let im2 = Hyper.Hypervisor.snapshot hv in
+  checki "snapshot drains the dirty set" 0
+    (Hyper.Pfn.dirty_count hv.Hyper.Hypervisor.pfn);
+  let f2 = fingerprint () in
+  let pos = Sim.Rng.save rng in
+  for _ = 1 to 40 do
+    step ()
+  done;
+  let f3 = fingerprint () in
+  checkb "workload moved the state" true (f3 <> f2);
+  Hyper.Hypervisor.restore hv im2;
+  checkb "restore returns to the snapshot point" true (fingerprint () = f2);
+  checki "restore drains the dirty set" 0
+    (Hyper.Pfn.dirty_count hv.Hyper.Hypervisor.pfn);
+  Sim.Rng.reseed rng pos;
+  for _ = 1 to 40 do
+    step ()
+  done;
+  checkb "replay from the image reproduces the state" true (fingerprint () = f3);
+  Hyper.Hypervisor.restore hv im2;
+  checkb "second restore of the same image" true (fingerprint () = f2)
+
+(* A run that died unrecovered used to force a fresh boot; now it goes
+   through the same O(changed) restore, and the next run must still be
+   indistinguishable from one on a freshly booted machine. *)
+let test_restore_after_died () =
+  let died_cfg = run_cfg ~seed:4242L ~mech:(Some Inject.Run.No_recovery) () in
+  let w = Inject.Run.prepare ~recorder:(small_recorder ()) died_cfg in
+  (match Inject.Run.execute_into w died_cfg with
+  | Inject.Run.Detected d ->
+    checkb "died unrecovered" false d.Inject.Run.recovered
+  | Inject.Run.Non_manifested | Inject.Run.Silent_corruption ->
+    Alcotest.fail "failstop without recovery must be detected");
+  let clean_cfg = run_cfg ~fault:Inject.Fault.Register ~seed:314L () in
+  let fresh_rec = small_recorder () in
+  let fresh = Inject.Run.run_obs ~recorder:fresh_rec clean_cfg in
+  let reused = Inject.Run.execute_into w clean_cfg in
+  checkb "outcome identical after died" true (fresh = reused);
+  Alcotest.check metrics_snapshot_t "metrics identical after died"
+    (Obs.Recorder.metrics_snapshot fresh_rec)
+    (Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w))
+
+(* The opt-in ledger audit: every snapshot restore must come back with a
+   clean orphan view (no orphaned frames, held locks, missing recurring
+   timers), whatever the previous run did -- fault-free, recovered or
+   died. [rewind] raises on any leak when the audit is armed. *)
+let test_restore_zero_leak_audit () =
+  let cfg = run_cfg ~fault:Inject.Fault.Register ~seed:21L () in
+  let w = Inject.Run.prepare ~recorder:(small_recorder ()) cfg in
+  Inject.Run.set_restore_audit w true;
+  List.iter
+    (fun cfg -> ignore (Inject.Run.execute_into w cfg))
+    [
+      cfg (* mostly non-manifested: fault-free machine *);
+      run_cfg ~seed:22L () (* failstop, recovered *);
+      run_cfg ~seed:23L ~mech:(Some Inject.Run.No_recovery) () (* died *);
+    ];
+  (* One explicit final rewind so the audit also covers the last run. *)
+  Inject.Run.rewind w cfg;
+  checkb "no leaks across restores" true true
+
+let test_clone_deterministic () =
+  let cfg = run_cfg ~fault:Inject.Fault.Register ~seed:5L () in
+  let w = Inject.Run.prepare ~recorder:(small_recorder ()) cfg in
+  let src = Inject.Run.prepare_clone w cfg in
+  let out1 = Inject.Run.clone_into ~reseed:900L src in
+  let m1 = Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w) in
+  (* An interleaved different variant must not disturb the replay. *)
+  ignore (Inject.Run.clone_into ~reseed:901L src);
+  let out3 = Inject.Run.clone_into ~reseed:900L src in
+  let m3 = Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w) in
+  checkb "same variant seed, same outcome" true (out1 = out3);
+  Alcotest.check metrics_snapshot_t "same variant seed, same metrics" m1 m3
+
+(* After a fan-out leaves the worker holding a trigger-point image, a
+   plain run on the same worker must still match a fresh machine (the
+   rewind falls back to reset-in-place and retakes the boot image). *)
+let test_execute_after_fanout_matches_fresh () =
+  let cfg = run_cfg ~fault:Inject.Fault.Register ~seed:88L () in
+  let w = Inject.Run.prepare ~recorder:(small_recorder ()) cfg in
+  ignore (Inject.Run.clone_into (Inject.Run.prepare_clone w cfg));
+  let fresh_rec = small_recorder () in
+  let fresh = Inject.Run.run_obs ~recorder:fresh_rec cfg in
+  let reused = Inject.Run.execute_into w cfg in
+  checkb "post-fan-out run matches fresh" true (fresh = reused);
+  Alcotest.check metrics_snapshot_t "post-fan-out metrics match fresh"
+    (Obs.Recorder.metrics_snapshot fresh_rec)
+    (Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w))
+
+let test_fanout_jobs_invariant () =
+  let cfg = run_cfg ~fault:Inject.Fault.Register () in
+  (* 22 runs at fanout 4: five full batches plus a two-run tail. *)
+  let seq = Inject.Campaign.run ~base_seed:600L ~jobs:1 ~fanout:4 ~n:22 cfg in
+  checki "all runs executed" 22 seq.Inject.Campaign.totals.Inject.Campaign.runs;
+  let par =
+    Inject.Campaign.run ~base_seed:600L ~jobs:3 ~oversubscribe:true ~fanout:4
+      ~n:22 cfg
+  in
+  Alcotest.check snapshot_t "fanout jobs=1 vs jobs=3 identical"
+    (Inject.Campaign.snapshot seq.Inject.Campaign.totals)
+    (Inject.Campaign.snapshot par.Inject.Campaign.totals)
+
 (* ------------------------- Pool chunking ---------------------------- *)
 
 (* Every index in [0, n) visited exactly once, for adversarial
@@ -537,6 +678,21 @@ let () =
           Alcotest.test_case "gc budget per run" `Quick test_gc_budget_per_run;
           Alcotest.test_case "campaign minor words" `Quick
             test_campaign_minor_words_recorded;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "rng save/reseed roundtrip" `Quick
+            test_rng_save_roundtrip;
+          Alcotest.test_case "snapshot after snapshot" `Quick
+            test_snapshot_after_snapshot;
+          Alcotest.test_case "restore after died" `Quick test_restore_after_died;
+          Alcotest.test_case "zero-leak restore audit" `Quick
+            test_restore_zero_leak_audit;
+          Alcotest.test_case "clone deterministic" `Quick test_clone_deterministic;
+          Alcotest.test_case "plain run after fan-out" `Quick
+            test_execute_after_fanout_matches_fresh;
+          Alcotest.test_case "fanout jobs invariant" `Slow
+            test_fanout_jobs_invariant;
         ] );
       ( "overhead",
         [
