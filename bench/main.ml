@@ -17,6 +17,9 @@ let scaling_out = ref "BENCH_scaling.json"
 let endurance_out = ref "BENCH_endurance.json"
 let alloc_out = ref "BENCH_alloc.json"
 let snapshot_out = ref "BENCH_snapshot.json"
+let obs_bench_out = ref "BENCH_obs.json"
+let triage_out = ref "TRIAGE_campaign.json"
+let max_obs_overhead = ref 5.0 (* postmortems-on runs/s deficit ceiling, % *)
 let leak_budget = ref 8 (* max leaked pages per recovery in the smoke *)
 let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
 let max_words_per_run = ref 0.0 (* minor words/run ceiling in scaling; 0 = off *)
@@ -25,7 +28,8 @@ let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 
 (* campaign_smoke and scaling are perf-tracking targets, not part of the
    paper reproduction, so they only run when named explicitly. *)
-let perf_sections = [ "campaign_smoke"; "scaling"; "endurance"; "alloc"; "snapshot" ]
+let perf_sections =
+  [ "campaign_smoke"; "scaling"; "endurance"; "alloc"; "snapshot"; "obs_overhead" ]
 
 let section name =
   if List.mem name perf_sections then List.mem name !sections
@@ -988,6 +992,178 @@ let snapshot_bench () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the flight recorder is always on and          *)
+(* postmortem capture is lazy, so a campaign with postmortems enabled    *)
+(* must not be measurably slower than one without. Measures runs/s both  *)
+(* ways (best of 3 to damp scheduler noise), gates the deficit at        *)
+(* --max-obs-overhead (default 5%), asserts triage output is             *)
+(* bit-identical across --jobs and --fanout splits, and re-runs an       *)
+(* exemplar's one-line repro to confirm it reproduces the failure        *)
+(* signature. Written to BENCH_obs.json (+ TRIAGE_campaign.json).        *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead () =
+  hr "Observability overhead: flight recorder + lazy postmortem capture";
+  tune_gc_for_campaigns ();
+  let n = if !full then 1000 else 240 in
+  let cfg =
+    {
+      Inject.Run.default_config with
+      Inject.Run.fault = Inject.Fault.Failstop;
+      setup = Inject.Run.Three_appvm;
+      mech = Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+      hv_config = Hyper.Config.nilihype;
+    }
+  in
+  let campaign ?(jobs = 1) ?(oversubscribe = false) ?(fanout = 1)
+      ~postmortems label =
+    Inject.Campaign.run ~label ~base_seed:90_000L ~jobs ~oversubscribe ~fanout
+      ~postmortems ~n cfg
+  in
+  (* Best of 3: campaigns are deterministic in results, only wall clock
+     varies, so max runs/s is the least-noisy throughput estimate. *)
+  let best ~postmortems label =
+    let reps =
+      List.init 3 (fun i ->
+          campaign ~postmortems (Printf.sprintf "%s #%d" label i))
+    in
+    List.fold_left
+      (fun (best_rps, keep) r ->
+        let rps = Inject.Campaign.runs_per_sec r in
+        if rps > best_rps then (rps, r) else (best_rps, keep))
+      (Inject.Campaign.runs_per_sec (List.hd reps), List.hd reps)
+      (List.tl reps)
+  in
+  ignore (campaign ~postmortems:false "warmup");
+  let base_rps, base = best ~postmortems:false "postmortems off" in
+  let pm_rps, pm = best ~postmortems:true "postmortems on" in
+  let overhead_pct =
+    if base_rps > 0.0 then 100.0 *. (base_rps -. pm_rps) /. base_rps else 0.0
+  in
+  Format.printf
+    "postmortems off: %8.1f runs/s   on: %8.1f runs/s   overhead %+.1f%%@."
+    base_rps pm_rps overhead_pct;
+  (* Capture must not perturb results: everything except the triage table
+     itself is bit-identical with postmortems on. *)
+  let strip s = { s with Inject.Campaign.s_triage = [] } in
+  if
+    strip (Inject.Campaign.snapshot base.Inject.Campaign.totals)
+    <> strip (Inject.Campaign.snapshot pm.Inject.Campaign.totals)
+  then failwith "obs_overhead: postmortem capture changed campaign results";
+  (* Triage determinism: same table for any worker/fan-out split. The
+     jobs>1 points oversubscribe so several domains run even on one
+     core; the byte-level comparison covers exemplar bundles too. *)
+  let triage_json r =
+    Obs.Postmortem.Triage.to_json
+      r.Inject.Campaign.totals.Inject.Campaign.triage
+  in
+  let pm_json = triage_json pm in
+  List.iter
+    (fun jobs ->
+      let r =
+        campaign ~jobs ~oversubscribe:true ~postmortems:true
+          (Printf.sprintf "triage jobs=%d" jobs)
+      in
+      if triage_json r <> pm_json then
+        failwith
+          (Printf.sprintf "obs_overhead: triage differs at jobs=%d" jobs))
+    [ 2; 4 ];
+  let fan1 =
+    campaign ~fanout:4 ~postmortems:true "triage fanout=4 jobs=1"
+  in
+  let fan4 =
+    campaign ~fanout:4 ~jobs:4 ~oversubscribe:true ~postmortems:true
+      "triage fanout=4 jobs=4"
+  in
+  if triage_json fan1 <> triage_json fan4 then
+    failwith "obs_overhead: fan-out triage differs across jobs";
+  Format.printf "triage bit-identical for jobs=1,2,4 and fanout=4 splits@.";
+  (* Repro fidelity: a no-recovery campaign must emit bundles, and an
+     exemplar's one-line repro (--runs 1 --seed S) must land in the same
+     failure signature when re-run. *)
+  let dead_cfg =
+    {
+      cfg with
+      Inject.Run.mech = Inject.Run.No_recovery;
+      hv_config = Hyper.Config.stock;
+    }
+  in
+  let dead =
+    Inject.Campaign.run ~label:"no-recovery" ~base_seed:90_000L
+      ~postmortems:true ~n:(min n 24) dead_cfg
+  in
+  let dead_triage = dead.Inject.Campaign.totals.Inject.Campaign.triage in
+  let exemplars =
+    List.filter_map
+      (fun (key, e) ->
+        Option.map
+          (fun (seed, _) -> (key, seed))
+          e.Obs.Postmortem.Triage.e_exemplar)
+      (Obs.Postmortem.Triage.snapshot dead_triage)
+  in
+  if exemplars = [] then
+    failwith "obs_overhead: no postmortem bundle from a died campaign";
+  List.iter
+    (fun (key, seed) ->
+      let rerun =
+        Inject.Campaign.run ~label:"repro" ~base_seed:seed ~postmortems:true
+          ~n:1 dead_cfg
+      in
+      let keys =
+        List.map fst
+          (Obs.Postmortem.Triage.snapshot
+             rerun.Inject.Campaign.totals.Inject.Campaign.triage)
+      in
+      if keys <> [ key ] then
+        failwith
+          (Printf.sprintf "obs_overhead: repro of seed %Ld gave %s, want %s"
+             seed
+             (String.concat "," keys)
+             key))
+    exemplars;
+  Format.printf
+    "repro fidelity: %d exemplar seed(s) re-ran to their own signature@."
+    (List.length exemplars);
+  if !triage_out <> "" then begin
+    let oc = open_out !triage_out in
+    output_string oc
+      (Obs.Postmortem.Triage.to_json
+         ~meta:
+           [
+             ("benchmark", `String "obs_overhead");
+             ("runs", `Int (min n 24));
+             ("base_seed", `Int 90_000);
+           ]
+         dead_triage);
+    close_out oc;
+    Format.printf "wrote %s@." !triage_out
+  end;
+  let oc = open_out !obs_bench_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"obs_overhead\",\n\
+    \  \"runs\": %d,\n\
+    \  \"baseline_runs_per_sec\": %.2f,\n\
+    \  \"postmortem_runs_per_sec\": %.2f,\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"overhead_ceiling_pct\": %.2f,\n\
+    \  \"identical_results\": true,\n\
+    \  \"triage_jobs_invariant\": true,\n\
+    \  \"triage_fanout_invariant\": true,\n\
+    \  \"repro_signatures_verified\": %d\n\
+     }\n"
+    n base_rps pm_rps overhead_pct !max_obs_overhead
+    (List.length exemplars);
+  close_out oc;
+  Format.printf "wrote %s@." !obs_bench_out;
+  if overhead_pct > !max_obs_overhead then begin
+    Format.printf
+      "FAIL: postmortem capture costs %.1f%% runs/s (ceiling %.1f%%)@."
+      overhead_pct !max_obs_overhead;
+    exit 1
+  end
+
 let () =
   Arg.parse
     [
@@ -1023,6 +1199,16 @@ let () =
       ( "--snapshot-out",
         Arg.Set_string snapshot_out,
         " output path for the snapshot/restore benchmark JSON record" );
+      ( "--obs-bench-out",
+        Arg.Set_string obs_bench_out,
+        " output path for the observability-overhead JSON record" );
+      ( "--triage-out",
+        Arg.Set_string triage_out,
+        " output path for the no-recovery campaign triage (nlh-triage/1; \
+         empty = skip)" );
+      ( "--max-obs-overhead",
+        Arg.Set_float max_obs_overhead,
+        " fail obs_overhead if postmortems cost more than this % runs/s" );
     ]
     (fun s -> sections := s :: !sections)
     "bench/main.exe [--full] [--jobs N] [sections...]";
@@ -1043,4 +1229,5 @@ let () =
   if section "endurance" then endurance ();
   if section "alloc" then alloc ();
   if section "snapshot" then snapshot_bench ();
+  if section "obs_overhead" then obs_overhead ();
   Format.printf "@.done.@."

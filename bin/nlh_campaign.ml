@@ -27,7 +27,10 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~fanout ~label =
       hv_config;
     }
   in
-  let result = Inject.Campaign.run ~label ~base_seed:seed ~jobs ~fanout ~n cfg in
+  let result =
+    Inject.Campaign.run ~label ~base_seed:seed ~jobs ~fanout
+      ~postmortems:(Obs_cli.postmortems_on ()) ~n cfg
+  in
   Format.printf "%a" Inject.Campaign.pp result;
   (match Inject.Campaign.mean_latency result with
   | Some l -> Format.printf "mean recovery latency: %a@." Sim.Time.pp_float l
@@ -49,6 +52,16 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~fanout ~label =
         ]
       !Obs_cli.metrics_file
       result.Inject.Campaign.totals.Inject.Campaign.metrics;
+  Obs_cli.write_triage
+    ~meta:
+      [
+        ("tool", `String "nlh_campaign");
+        ("label", `String label);
+        ("runs", `Int n);
+        ("base_seed", `Int (Int64.to_int seed));
+        ("fanout", `Int fanout);
+      ]
+    result.Inject.Campaign.totals.Inject.Campaign.triage;
   if !Obs_cli.trace_file <> "" then
     (* One extra instrumented run at the base seed: same config, full
        event/span recording, exported as a Chrome-trace timeline. *)

@@ -76,7 +76,9 @@ let () =
   let label = Printf.sprintf "%s/%s" mech_name (Inject.Fault.name !fault) in
   let result =
     Endure.run ~label ~base_seed:(Int64.of_int !seed)
-      ~jobs:(resolve_jobs !jobs) ~scenarios:!scenarios cfg
+      ~jobs:(resolve_jobs !jobs)
+      ~postmortems:(Obs_cli.postmortems_on ())
+      ~scenarios:!scenarios cfg
   in
   Format.printf "%a" Endure.pp result;
   Format.printf
@@ -97,6 +99,16 @@ let () =
   List.iter
     (fun (k, v) -> Format.printf "  death: %s x%d@." k v)
     (Sim.Stats.Counts.sorted result.Endure.totals.Endure.death_notes);
+  Obs_cli.write_triage
+    ~meta:
+      [
+        ("tool", `String "nlh_endurance");
+        ("label", `String label);
+        ("scenarios", `Int !scenarios);
+        ("cycles", `Int !cycles);
+        ("base_seed", `Int !seed);
+      ]
+    result.Endure.totals.Endure.triage;
   if !json_out <> "" then begin
     let oc = open_out !json_out in
     Endure.write_json oc

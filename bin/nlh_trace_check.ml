@@ -1,7 +1,18 @@
-(* Validate an exported Chrome-trace JSON file: well-formed JSON, a
-   traceEvents array whose rows all carry name/ph/ts, and globally
-   non-decreasing timestamps (the exporter emits rows time-sorted).
-   Used by the @check alias as the trace-export smoke test. *)
+(* Validate exported observability artifacts: well-formed JSON plus
+   per-schema structural checks. Dispatches on document shape:
+
+   - Chrome-trace timelines (a "traceEvents" array): rows all carry
+     name/ph/ts and timestamps are globally non-decreasing.
+   - "nlh-obs/1" metrics documents: counters/gauges are integer maps;
+     histograms have strictly increasing bounds, counts one longer than
+     bounds, counts summing to samples, and ordered quantile estimates.
+   - "nlh-triage/1" triage documents: per-signature entries whose counts
+     sum to the total, ascending seed sets, and well-formed exemplars.
+   - "nlh-postmortem/1" bundles: signature grammar, timeline and
+     flight-tail shape, monotone timeline timestamps.
+
+   Accepts any number of files; used by the @check alias as the
+   export smoke test. *)
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -11,23 +22,9 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let () =
-  if Array.length Sys.argv <> 2 then die "usage: nlh_trace_check TRACE.json";
-  let path = Sys.argv.(1) in
-  let contents = try read_file path with Sys_error e -> die "%s" e in
-  let root =
-    match Obs.Json.parse contents with
-    | Ok v -> v
-    | Error msg -> die "%s: invalid JSON: %s" path msg
-  in
-  let events =
-    match Obs.Json.member "traceEvents" root with
-    | Some v -> (
-      match Obs.Json.to_list v with
-      | Some l -> l
-      | None -> die "%s: traceEvents is not an array" path)
-    | None -> die "%s: missing traceEvents" path
-  in
+(* --- Chrome-trace ---------------------------------------------------- *)
+
+let check_chrome path events =
   let spans = ref 0 and instants = ref 0 in
   let last_ts = ref neg_infinity in
   List.iteri
@@ -56,5 +53,228 @@ let () =
       | "i" -> incr instants
       | ph -> die "%s: traceEvents[%d]: unexpected ph %S" path i ph)
     events;
-  Printf.printf "%s: OK (%d rows: %d spans, %d instants)\n" path
+  Printf.printf "%s: OK chrome-trace (%d rows: %d spans, %d instants)\n" path
     (List.length events) !spans !instants
+
+(* --- Shared accessors ------------------------------------------------ *)
+
+let obj_members path what v =
+  match v with
+  | Obs.Json.Obj fields -> fields
+  | _ -> die "%s: %s is not an object" path what
+
+let list_of path what v =
+  match Obs.Json.to_list v with
+  | Some l -> l
+  | None -> die "%s: %s is not an array" path what
+
+let get path what key v =
+  match Obs.Json.member key v with
+  | Some x -> x
+  | None -> die "%s: %s: missing %S" path what key
+
+let num path what key v =
+  match Obs.Json.to_number (get path what key v) with
+  | Some f -> f
+  | None -> die "%s: %s: %S is not a number" path what key
+
+let str path what key v =
+  match Obs.Json.to_string (get path what key v) with
+  | Some s -> s
+  | None -> die "%s: %s: %S is not a string" path what key
+
+let int_assoc path what v =
+  List.iter
+    (fun (k, x) ->
+      if Obs.Json.to_number x = None then
+        die "%s: %s: %S is not a number" path what k)
+    (obj_members path what v)
+
+(* --- nlh-obs/1 ------------------------------------------------------- *)
+
+let check_metrics path root =
+  int_assoc path "counters" (get path "document" "counters" root);
+  int_assoc path "gauges" (get path "document" "gauges" root);
+  let hists =
+    obj_members path "histograms" (get path "document" "histograms" root)
+  in
+  List.iter
+    (fun (name, h) ->
+      let what = Printf.sprintf "histograms[%S]" name in
+      let bounds =
+        List.map
+          (fun b ->
+            match Obs.Json.to_number b with
+            | Some f -> f
+            | None -> die "%s: %s: non-numeric bound" path what)
+          (list_of path what (get path what "bounds" h))
+      in
+      let rec mono = function
+        | a :: (b :: _ as r) ->
+          if a >= b then die "%s: %s: bounds not strictly increasing" path what;
+          mono r
+        | _ -> ()
+      in
+      mono bounds;
+      let counts =
+        List.map
+          (fun c ->
+            match Obs.Json.to_number c with
+            | Some f when f >= 0.0 -> f
+            | _ -> die "%s: %s: bad bucket count" path what)
+          (list_of path what (get path what "counts" h))
+      in
+      if List.length counts <> List.length bounds + 1 then
+        die "%s: %s: %d counts for %d bounds (want bounds+1)" path what
+          (List.length counts) (List.length bounds);
+      let samples = num path what "samples" h in
+      ignore (num path what "sum" h);
+      if List.fold_left ( +. ) 0.0 counts <> samples then
+        die "%s: %s: counts do not sum to samples" path what;
+      (* Quantiles: present together iff the histogram is non-empty,
+         and necessarily ordered. *)
+      let q key = Option.bind (Obs.Json.member key h) Obs.Json.to_number in
+      match (q "p50", q "p99", q "p999") with
+      | Some p50, Some p99, Some p999 ->
+        if samples <= 0.0 then
+          die "%s: %s: quantiles on an empty histogram" path what;
+        if not (p50 <= p99 && p99 <= p999) then
+          die "%s: %s: quantiles not ordered (p50 %g p99 %g p999 %g)" path
+            what p50 p99 p999
+      | None, None, None ->
+        if samples > 0.0 then
+          die "%s: %s: non-empty histogram missing quantiles" path what
+      | _ -> die "%s: %s: partial quantile set" path what)
+    hists;
+  Printf.printf "%s: OK nlh-obs/1 (%d histograms)\n" path (List.length hists)
+
+(* --- nlh-postmortem/1 bundles ---------------------------------------- *)
+
+(* Shared between standalone bundle files and triage exemplars. *)
+let check_bundle path what b =
+  let sg = str path what "signature" b in
+  let parts = String.split_on_char '|' sg in
+  if List.length parts <> 4 || List.exists (fun p -> p = "") parts then
+    die "%s: %s: signature %S is not fault|target|cause|branch" path what sg;
+  if str path what "outcome" b = "" then die "%s: %s: empty outcome" path what;
+  if str path what "repro" b = "" then die "%s: %s: empty repro" path what;
+  ignore (num path what "seed" b);
+  List.iter
+    (fun (k, v) ->
+      if Obs.Json.to_string v = None then
+        die "%s: %s: config[%S] is not a string" path what k)
+    (obj_members path (what ^ ".config") (get path what "config" b));
+  let last_ns = ref neg_infinity in
+  List.iteri
+    (fun i e ->
+      let ewhat = Printf.sprintf "%s.timeline[%d]" what i in
+      if str path ewhat "label" e = "" then die "%s: %s: empty label" path ewhat;
+      if str path ewhat "event" e = "" then die "%s: %s: empty event" path ewhat;
+      let ns = num path ewhat "ns" e in
+      if ns < !last_ns then die "%s: %s: timeline not monotone" path ewhat;
+      last_ns := ns)
+    (list_of path (what ^ ".timeline") (get path what "timeline" b));
+  (match get path what "first_touch" b with
+  | Obs.Json.Null -> ()
+  | ft ->
+    ignore (str path (what ^ ".first_touch") "name" ft);
+    ignore (num path (what ^ ".first_touch") "ns" ft));
+  List.iter
+    (fun key ->
+      List.iteri
+        (fun i e ->
+          let ewhat = Printf.sprintf "%s.%s[%d]" what key i in
+          ignore (str path ewhat "name" e);
+          ignore (num path ewhat "ns" e))
+        (list_of path (what ^ "." ^ key) (get path what key b)))
+    [ "recovery_phases"; "hypercalls"; "journal_tail" ];
+  int_assoc path (what ^ ".ledger_diff") (get path what "ledger_diff" b)
+
+let check_postmortem path root =
+  check_bundle path "bundle" root;
+  Printf.printf "%s: OK nlh-postmortem/1 (%s)\n" path
+    (str path "bundle" "signature" root)
+
+(* --- nlh-triage/1 ---------------------------------------------------- *)
+
+let check_triage path root =
+  let total = num path "document" "total" root in
+  let sigs =
+    list_of path "signatures" (get path "document" "signatures" root)
+  in
+  let counted = ref 0.0 in
+  let last_key = ref "" in
+  List.iteri
+    (fun i e ->
+      let what = Printf.sprintf "signatures[%d]" i in
+      let key = str path what "signature" e in
+      if key <= !last_key && i > 0 then
+        die "%s: %s: keys not strictly key-sorted" path what;
+      last_key := key;
+      (* The flat fields must agree with the composite key. *)
+      let recomposed =
+        String.concat "|"
+          [
+            str path what "fault" e;
+            str path what "target" e;
+            str path what "cause" e;
+            str path what "branch" e;
+          ]
+      in
+      if recomposed <> key then
+        die "%s: %s: fields %S disagree with key %S" path what recomposed key;
+      let count = num path what "count" e in
+      if count < 1.0 then die "%s: %s: count < 1" path what;
+      counted := !counted +. count;
+      let seeds =
+        List.map
+          (fun s ->
+            match Obs.Json.to_number s with
+            | Some f -> f
+            | None -> die "%s: %s: non-numeric seed" path what)
+          (list_of path (what ^ ".seeds") (get path what "seeds" e))
+      in
+      if seeds = [] then die "%s: %s: empty seed set" path what;
+      let rec asc = function
+        | a :: (b :: _ as r) ->
+          if a >= b then die "%s: %s: seeds not ascending" path what;
+          asc r
+        | _ -> ()
+      in
+      asc seeds;
+      match get path what "exemplar" e with
+      | Obs.Json.Null -> ()
+      | b ->
+        check_bundle path (what ^ ".exemplar") b;
+        if str path (what ^ ".exemplar") "signature" b <> key then
+          die "%s: %s: exemplar signature disagrees with key" path what)
+    sigs;
+  if !counted <> total then
+    die "%s: signature counts sum to %g but total is %g" path !counted total;
+  Printf.printf "%s: OK nlh-triage/1 (%d signatures, %g failures)\n" path
+    (List.length sigs) total
+
+(* --- Dispatch -------------------------------------------------------- *)
+
+let check_file path =
+  let contents = try read_file path with Sys_error e -> die "%s" e in
+  let root =
+    match Obs.Json.parse contents with
+    | Ok v -> v
+    | Error msg -> die "%s: invalid JSON: %s" path msg
+  in
+  match Obs.Json.member "traceEvents" root with
+  | Some v -> check_chrome path (list_of path "traceEvents" v)
+  | None -> (
+    match Option.bind (Obs.Json.member "schema" root) Obs.Json.to_string with
+    | Some "nlh-obs/1" -> check_metrics path root
+    | Some "nlh-triage/1" -> check_triage path root
+    | Some "nlh-postmortem/1" -> check_postmortem path root
+    | Some s -> die "%s: unknown schema %S" path s
+    | None -> die "%s: neither a Chrome trace nor a schema document" path)
+
+let () =
+  if Array.length Sys.argv < 2 then die "usage: nlh_trace_check FILE.json...";
+  for i = 1 to Array.length Sys.argv - 1 do
+    check_file Sys.argv.(i)
+  done

@@ -4,6 +4,11 @@
 let trace_file = ref ""
 let trace_level = ref "info"
 let metrics_file = ref ""
+let triage_file = ref ""
+let postmortem_dir = ref ""
+
+(* Postmortem capture is on when either output is requested. *)
+let postmortems_on () = !triage_file <> "" || !postmortem_dir <> ""
 
 let arg_specs =
   [
@@ -19,6 +24,13 @@ let arg_specs =
     ( "--metrics",
       Arg.Set_string metrics_file,
       "FILE write metrics as JSON (nlh-obs/1 schema)" );
+    ( "--triage-out",
+      Arg.Set_string triage_file,
+      "FILE write failure-signature triage as JSON (nlh-triage/1 schema)" );
+    ( "--postmortem-dir",
+      Arg.Set_string postmortem_dir,
+      "DIR write one exemplar postmortem bundle per failure signature \
+       (nlh-postmortem/1 schema)" );
   ]
 
 let level () =
@@ -51,3 +63,23 @@ let traced_run path (cfg : Inject.Run.config) =
 let write_metrics ?meta path snapshot =
   Obs.Export.write_metrics_json ?meta path snapshot;
   Format.printf "metrics: wrote %s@." path
+
+(* Emit the triage artifacts requested on the command line: the
+   nlh-triage/1 summary document and/or one exemplar bundle file per
+   failure signature. A campaign with no bad outcomes still writes a
+   valid (empty) triage document, so downstream tooling never has to
+   special-case the happy path. *)
+let write_triage ?meta (triage : Obs.Postmortem.Triage.table) =
+  if !triage_file <> "" then begin
+    Obs.Export.write_file !triage_file
+      (Obs.Postmortem.Triage.to_json ?meta triage);
+    Format.printf "triage: wrote %s (%d signature(s), %d failure(s))@."
+      !triage_file
+      (Obs.Postmortem.Triage.signatures triage)
+      (Obs.Postmortem.Triage.total triage)
+  end;
+  if !postmortem_dir <> "" then begin
+    let files = Obs.Postmortem.Triage.write_postmortems ~dir:!postmortem_dir triage in
+    Format.printf "postmortems: wrote %d bundle(s) under %s@."
+      (List.length files) !postmortem_dir
+  end

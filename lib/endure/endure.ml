@@ -78,6 +78,9 @@ type scenario = {
   sc_death_why : string option; (* stable death-cause label *)
   sc_first_latent : int option;
   sc_cycles : cycle list; (* chronological; shorter than [cycles] on death *)
+  sc_postmortem : (Obs.Signature.t * Obs.Postmortem.t) option;
+      (* death forensics, captured live at the [Dead] raise when the
+         campaign runs with postmortems *)
 }
 
 (* Scenario-level instruments, registered eagerly (all of them, on
@@ -149,6 +152,8 @@ let run_cycle (st : Inject.Run.state) cfg ins ~mechanism ~enh ~index ~before =
   let obs = hv.Hypervisor.obs in
   let run_cfg = st.Inject.Run.cfg in
   st.Inject.Run.fault_applied <- false;
+  (* Per-cycle signature axis: the dying cycle's own fault target. *)
+  st.Inject.Run.first_target <- None;
   Inject.Run.arm_fault st;
   let detection = ref None in
   (try
@@ -282,7 +287,8 @@ let run_cycle (st : Inject.Run.state) cfg ins ~mechanism ~enh ~index ~before =
              })))
 
 (* Drive one full scenario over an already-rewound machine state. *)
-let drive (st : Inject.Run.state) (cfg : config) : scenario =
+let drive ?(postmortems = false) (st : Inject.Run.state) (cfg : config) :
+    scenario =
   let mechanism, enh =
     match st.Inject.Run.cfg.Inject.Run.mech with
     | Inject.Run.Mech (m, e) -> (m, e)
@@ -299,6 +305,7 @@ let drive (st : Inject.Run.state) (cfg : config) : scenario =
   let first_latent = ref None in
   let death = ref None in
   let death_why = ref None in
+  let postmortem = ref None in
   let before = ref (Ledger.capture hv) in
   (try
      for index = 0 to cfg.cycles - 1 do
@@ -313,6 +320,49 @@ let drive (st : Inject.Run.state) (cfg : config) : scenario =
    with Dead { at; why; detection } ->
      death := Some at;
      death_why := Some why;
+     (* Live postmortem capture, right at the point of death: the event
+        ring still holds the scenario's trace, the flight rings the
+        pre-crash hypercall/journal tails, and [!before] is the quiesce
+        ledger entering the dying cycle. The death causes are already a
+        closed vocabulary, so they are the signature's cause axis
+        directly. *)
+     if postmortems then begin
+       let run_cfg = st.Inject.Run.cfg in
+       let sg =
+         Obs.Signature.make
+           ~fault:(Inject.Fault.name run_cfg.Inject.Run.fault)
+           ~target:
+             (match st.Inject.Run.first_target with
+             | Some t -> t
+             | None -> "none")
+           ~cause:why
+           ~branch:(Recovery.Engine.mechanism_name mechanism ^ "/died")
+       in
+       let seed = run_cfg.Inject.Run.seed in
+       let repro =
+         Printf.sprintf
+           "nlh_endurance --mech %s --fault %s --cycles %d --scenarios 1 \
+            --seed %Ld --jobs 1"
+           (Inject.Postmortem.mech_cli run_cfg.Inject.Run.mech)
+           (Inject.Postmortem.fault_cli run_cfg.Inject.Run.fault)
+           cfg.cycles seed
+       in
+       let bundle =
+         Obs.Postmortem.make ~signature:sg ~outcome:"died" ~seed ~repro
+           ~config:
+             (("cycles", string_of_int cfg.cycles)
+             :: ("died_at_cycle", string_of_int at)
+             :: Inject.Postmortem.config_fields run_cfg ~fanout:1)
+           ~events:(Obs.Recorder.events hv.Hypervisor.obs)
+           ~phases:[]
+           ~hypercalls:(Hypervisor.hypercall_tail hv)
+           ~journal_tail:(Hypervisor.journal_tail hv)
+           ~ledger_diff:
+             (Ledger.fields
+                (Ledger.diff ~before:!before ~after:(Ledger.capture hv)))
+       in
+       postmortem := Some (sg, bundle)
+     end;
      cycles :=
        {
          cy_index = at;
@@ -331,21 +381,28 @@ let drive (st : Inject.Run.state) (cfg : config) : scenario =
     sc_death_why = !death_why;
     sc_first_latent = !first_latent;
     sc_cycles = List.rev !cycles;
+    sc_postmortem = !postmortem;
   }
 
 (* Run one scenario on a reusable worker: rewind the machine in place
    (exactly as a campaign run would), then drive the cycles. *)
-let scenario_on_worker (w : Inject.Run.worker) (cfg : config) ~seed =
+let scenario_on_worker ?postmortems (w : Inject.Run.worker) (cfg : config)
+    ~seed =
   let run_cfg = { cfg.run_cfg with Inject.Run.seed } in
   Inject.Run.rewind w run_cfg;
-  drive (Inject.Run.make_state run_cfg w.Inject.Run.w_rng w.Inject.Run.w_hv) cfg
+  (* New flight-ring epoch: scope this scenario's postmortem readback to
+     its own entries (the rings survive the rewind by design). *)
+  Hypervisor.new_flight_epoch w.Inject.Run.w_hv;
+  drive ?postmortems
+    (Inject.Run.make_state run_cfg w.Inject.Run.w_rng w.Inject.Run.w_hv)
+    cfg
 
 (* One-shot convenience: boot a fresh machine and drive one scenario.
    [recorder] receives the cycle/leak events, recovery spans and
    endurance metrics. *)
-let run_scenario ?recorder (cfg : config) ~seed =
+let run_scenario ?recorder ?postmortems (cfg : config) ~seed =
   let run_cfg = { cfg.run_cfg with Inject.Run.seed } in
-  drive (Inject.Run.boot_state ?recorder run_cfg) cfg
+  drive ?postmortems (Inject.Run.boot_state ?recorder run_cfg) cfg
 
 (* ------------------------------------------------------------------ *)
 (* Campaign aggregation                                                *)
@@ -389,6 +446,9 @@ type totals = {
   leaks : Sim.Stats.Counts.t; (* per-resource leak totals (positive deltas) *)
   death_notes : Sim.Stats.Counts.t;
   mutable metrics : Obs.Metrics.snapshot;
+  triage : Obs.Postmortem.Triage.table;
+      (* death signatures with exemplar bundles; populated only when the
+         campaign runs with postmortems *)
 }
 
 let make_totals ~cycles =
@@ -403,6 +463,7 @@ let make_totals ~cycles =
     leaks = Sim.Stats.Counts.create ();
     death_notes = Sim.Stats.Counts.create ();
     metrics = Obs.Metrics.empty_snapshot;
+    triage = Obs.Postmortem.Triage.create ();
   }
 
 let add_scenario t (cfg : config) (sc : scenario) =
@@ -416,6 +477,10 @@ let add_scenario t (cfg : config) (sc : scenario) =
     t.deaths <- t.deaths + 1;
     (match sc.sc_death_why with
     | Some why -> Sim.Stats.Counts.add t.death_notes why
+    | None -> ());
+    (match sc.sc_postmortem with
+    | Some (sg, bundle) ->
+      Obs.Postmortem.Triage.record ~bundle t.triage sg ~seed:sc.sc_seed
     | None -> ()));
   List.iter
     (fun cy ->
@@ -467,7 +532,8 @@ let merge_into dst src =
     src.per_cycle;
   Sim.Stats.Counts.merge_into ~into:dst.leaks src.leaks;
   Sim.Stats.Counts.merge_into ~into:dst.death_notes src.death_notes;
-  dst.metrics <- Obs.Metrics.merge_snapshots dst.metrics src.metrics
+  dst.metrics <- Obs.Metrics.merge_snapshots dst.metrics src.metrics;
+  Obs.Postmortem.Triage.merge_into ~into:dst.triage src.triage
 
 (* Canonical immutable view for determinism comparisons: plain ints and
    key-sorted lists only. *)
@@ -484,6 +550,7 @@ type snapshot = {
   s_leaks : (string * int) list;
   s_death_notes : (string * int) list;
   s_metrics : Obs.Metrics.snapshot;
+  s_triage : (string * Obs.Postmortem.Triage.entry) list;
 }
 
 let snapshot t =
@@ -509,6 +576,7 @@ let snapshot t =
     s_leaks = Sim.Stats.Counts.sorted t.leaks;
     s_death_notes = Sim.Stats.Counts.sorted t.death_notes;
     s_metrics = t.metrics;
+    s_triage = Obs.Postmortem.Triage.snapshot t.triage;
   }
 
 let pp_snapshot fmt s =
@@ -573,7 +641,7 @@ let mean_leak_pages_per_recovery r =
    one long-lived worker machine per domain, reset in place between
    scenarios; totals merged commutatively, hence jobs-independent. *)
 let run ?(label = "") ?(base_seed = 77_000L) ?(jobs = 1) ?chunk
-    ?(oversubscribe = false) ~scenarios (cfg : config) =
+    ?(oversubscribe = false) ?(postmortems = false) ~scenarios (cfg : config) =
   let t0 = Unix.gettimeofday () in
   let init () =
     (make_totals ~cycles:cfg.cycles, ref None, Gc.minor_words (), ref 0.0)
@@ -585,7 +653,11 @@ let run ?(label = "") ?(base_seed = 77_000L) ?(jobs = 1) ?chunk
       | Some w -> w
       | None ->
         let recorder =
-          Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
+          (* With postmortems on, the ring must hold a whole scenario's
+             Warn+ events for the death bundle's timeline. *)
+          if postmortems then
+            Obs.Recorder.create ~capacity:1024 ~min_level:Obs.Event.Warn ()
+          else Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
         in
         (* Register the endurance instruments before the first scenario
            so every worker's registry is structurally identical. *)
@@ -594,7 +666,7 @@ let run ?(label = "") ?(base_seed = 77_000L) ?(jobs = 1) ?chunk
         worker := Some w;
         w
     in
-    add_scenario totals cfg (scenario_on_worker w cfg ~seed);
+    add_scenario totals cfg (scenario_on_worker ~postmortems w cfg ~seed);
     totals.metrics <-
       Obs.Metrics.merge_snapshots totals.metrics
         (Obs.Recorder.metrics_snapshot (Inject.Run.worker_recorder w))

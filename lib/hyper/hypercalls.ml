@@ -43,6 +43,27 @@ let rec name = function
   | Multicall kinds ->
     Printf.sprintf "multicall[%s]" (String.concat "," (List.map name kinds))
 
+(* Constant-string variant of [name] for the flight recorder's hot path:
+   drops the per-call detail (sub-op counts, multicall contents) so no
+   formatting -- and no allocation -- happens per hypercall. *)
+let static_name = function
+  | Mmu_update _ -> "mmu_update"
+  | Update_va_mapping -> "update_va_mapping"
+  | Memory_op_populate -> "memory_op(populate)"
+  | Memory_op_decrease -> "memory_op(decrease)"
+  | Grant_table_op _ -> "grant_table_op"
+  | Event_channel_send -> "evtchn_send"
+  | Event_channel_bind -> "evtchn_bind"
+  | Sched_op_yield -> "sched_op(yield)"
+  | Sched_op_block -> "sched_op(block)"
+  | Set_timer_op -> "set_timer_op"
+  | Console_io -> "console_io"
+  | Vcpu_op_info -> "vcpu_op(info)"
+  | Domctl_create_domain -> "domctl(create)"
+  | Domctl_destroy_domain -> "domctl(destroy)"
+  | Domctl_pause_domain -> "domctl(pause)"
+  | Multicall _ -> "multicall"
+
 (* Hypercalls whose naive re-execution corrupts state: they update
    reference counters / validation bits in page-frame descriptors. *)
 let rec non_idempotent = function

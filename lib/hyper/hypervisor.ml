@@ -46,6 +46,15 @@ type t = {
   domains : (int, Domain.t) Hashtbl.t;
   cycles : Cycle_account.t;
   obs : Obs.Recorder.t;
+  (* Crash-surviving flight rings (the postmortem "black box"): last-N
+     hypercall entries and journal appends. Deliberately NOT touched by
+     [reboot_in_place] or [restore] -- like the paper's persistent
+     journal, the evidence of what led up to a failure must outlive the
+     recovery that wipes the rest of the hypervisor state. The harness
+     bumps their epoch at run boundaries ([new_flight_epoch]) so
+     readback never mixes runs. *)
+  hc_flight : Obs.Flight.t;
+  journal_flight : Obs.Flight.t;
   watchdog_soft : int array; (* per-CPU software tick counters *)
   mutable time_sync_count : int;
   mutable next_domid : int;
@@ -172,6 +181,8 @@ let create ?(mconfig = Hw.Machine.default_config) ?obs ~config clock =
       domains = Hashtbl.create 8;
       cycles = Cycle_account.create ();
       obs;
+      hc_flight = Obs.Flight.create ~capacity:64 ();
+      journal_flight = Obs.Flight.create ~capacity:64 ();
       watchdog_soft = Array.make num_cpus 0;
       time_sync_count = 0;
       next_domid = 0;
@@ -404,7 +415,10 @@ let reboot_in_place t ~config ~setup ~vcpus_per_cpu =
   Sched.reset t.sched;
   Hashtbl.reset t.domains;
   Cycle_account.reset t.cycles;
-  Obs.Recorder.reset t.obs;
+  (* The recorder and the flight rings deliberately survive the in-place
+     reboot: the flight recorder must keep the pre-crash evidence a
+     postmortem reads back. Harness code that wants per-run metric
+     isolation calls [Obs.Recorder.reset] itself at run boundaries. *)
   Array.fill t.watchdog_soft 0 (Array.length t.watchdog_soft) 0;
   Array.fill t.need_resched_flags 0 (Array.length t.need_resched_flags) false;
   t.time_sync_count <- 0;
@@ -432,6 +446,21 @@ let reboot_in_place t ~config ~setup ~vcpus_per_cpu =
   boot_target t ~setup ~vcpus_per_cpu
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder readback                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Run-boundary epoch bump: flight rings are never cleared (they must
+   survive restore / in-place reboot), so readback is scoped to the
+   entries recorded since the last bump. *)
+let new_flight_epoch t =
+  Obs.Flight.new_epoch t.hc_flight;
+  Obs.Flight.new_epoch t.journal_flight
+
+(* Oldest-first (name, simulated ns) tails for the current epoch. *)
+let hypercall_tail t = Obs.Flight.tail t.hc_flight
+let journal_tail t = Obs.Flight.tail t.journal_flight
+
+(* ------------------------------------------------------------------ *)
 (* Copy-on-write golden snapshots                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -455,9 +484,12 @@ let reboot_in_place t ~config ~setup ~vcpus_per_cpu =
      mutation of a record alive at snapshot time (sub-op progress, its
      undo journal) would leak across a restore. Both harness snapshot
      points (post-boot, post-warmup) have no in-flight hypercalls.
-   - The recorder ([t.obs]) is deliberately NOT part of the image:
-     callers pair [restore] with [Obs.Recorder.reset] (boot-time images)
-     or [Obs.Metrics.restore] (trigger-point clone fan-out).
+   - The recorder ([t.obs]) and the flight rings are deliberately NOT
+     part of the image, and [restore] never resets them: observability
+     state survives recovery, like the paper's persistent journal.
+     Harness code wanting per-run isolation pairs [restore] with
+     [Obs.Recorder.reset] (boot-time images) or [Obs.Metrics.restore]
+     (trigger-point clone fan-out), plus [new_flight_epoch].
    - [step_hook] comes back as [None]; the harness reinstalls its CPU
      tracker per run. *)
 
@@ -864,6 +896,10 @@ let journal_log t (journal : Journal.t) entry =
     let clk = t.clock in
     clk.Sim.Clock.now <- clk.Sim.Clock.now + cycles_to_ns Journal.cycles_per_write;
     Obs.Metrics.incr t.obs.Obs.Recorder.journal_writes;
+    (* Flight ring: entry kinds are constant strings, so this is pure
+       array stores -- always on, no level filter. *)
+    Obs.Flight.note t.journal_flight ~name:(Journal.entry_kind entry)
+      ~time:clk.Sim.Clock.now;
     if Obs.Recorder.enabled t.obs Obs.Event.Debug then
       observe t Obs.Event.Debug
         (Obs.Event.Journal_append
@@ -1498,6 +1534,11 @@ let do_hypercall t rng ~cpu (vcpu : Domain.vcpu) kind ~retry_of =
   let journal = journal_of_record t record in
   let domid = vcpu.Domain.domid and vid = vcpu.Domain.vid in
   Obs.Metrics.incr t.obs.Obs.Recorder.hypercall_entries;
+  (* Flight ring: [static_name] is a pre-interned constant (unlike
+     [Hypercalls.name], which formats), so the note allocates nothing. *)
+  Obs.Flight.note t.hc_flight
+    ~name:(Hypercalls.static_name kind)
+    ~time:(Sim.Clock.now t.clock);
   (* [Hypercalls.name] formats, so even computing the payload's fields is
      deferred until the event is known to pass the level filter. *)
   (match retry_of with

@@ -18,6 +18,9 @@ type totals = {
   mutable latency_samples : int;
   notes : Sim.Stats.Counts.t;
   mutable metrics : Obs.Metrics.snapshot; (* merged per-run metrics *)
+  triage : Obs.Postmortem.Triage.table;
+      (* failure signatures with bounded exemplar bundles; empty unless
+         the campaign ran with [postmortems] *)
 }
 
 let make_totals () =
@@ -33,6 +36,7 @@ let make_totals () =
     latency_samples = 0;
     notes = Sim.Stats.Counts.create ();
     metrics = Obs.Metrics.empty_snapshot;
+    triage = Obs.Postmortem.Triage.create ();
   }
 
 let note t key = Sim.Stats.Counts.add t.notes key
@@ -73,7 +77,8 @@ let merge_into dst src =
   dst.latency_sum <- dst.latency_sum + src.latency_sum;
   dst.latency_samples <- dst.latency_samples + src.latency_samples;
   Sim.Stats.Counts.merge_into ~into:dst.notes src.notes;
-  dst.metrics <- Obs.Metrics.merge_snapshots dst.metrics src.metrics
+  dst.metrics <- Obs.Metrics.merge_snapshots dst.metrics src.metrics;
+  Obs.Postmortem.Triage.merge_into ~into:dst.triage src.triage
 
 let merge a b =
   let t = make_totals () in
@@ -97,6 +102,8 @@ type snapshot = {
   s_latency_samples : int;
   s_notes : (string * int) list;
   s_metrics : Obs.Metrics.snapshot; (* canonical: name-sorted lists *)
+  s_triage : (string * Obs.Postmortem.Triage.entry) list;
+      (* canonical: signature-key-sorted, exemplar bundles included *)
 }
 
 let snapshot t =
@@ -112,6 +119,7 @@ let snapshot t =
     s_latency_samples = t.latency_samples;
     s_notes = failure_notes t;
     s_metrics = t.metrics;
+    s_triage = Obs.Postmortem.Triage.snapshot t.triage;
   }
 
 let pp_snapshot fmt s =
@@ -148,6 +156,9 @@ type acc = {
   mutable acc_worker : Run.worker option;
   acc_minor_start : float;
   mutable acc_minor_words : float; (* set by the in-domain finish hook *)
+  mutable acc_pm_ledger : Hyper.Ledger.t option;
+      (* golden post-boot resource ledger, the baseline for a bundle's
+         ledger diff; captured once per worker when postmortems are on *)
 }
 
 (* Run [n] injections of [cfg], varying only the seed. [jobs > 1]
@@ -179,8 +190,8 @@ type acc = {
    [fanout = 1] campaign. Batches never split across workers, so the
    aggregate stays bit-identical for every [jobs] value. *)
 let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
-    ?(oversubscribe = false) ?(alloc_profile = false) ?(fanout = 1) ~n
-    (cfg : Run.config) =
+    ?(oversubscribe = false) ?(alloc_profile = false) ?(fanout = 1)
+    ?(postmortems = false) ~n (cfg : Run.config) =
   if fanout < 1 then invalid_arg "Campaign.run: fanout must be >= 1";
   let t0 = Unix.gettimeofday () in
   let init () =
@@ -189,6 +200,7 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
       acc_worker = None;
       acc_minor_start = Gc.minor_words ();
       acc_minor_words = 0.0;
+      acc_pm_ledger = None;
     }
   in
   let worker_of acc (cfg : Run.config) =
@@ -197,12 +209,22 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
     | None ->
       (* A tiny per-worker recorder: the campaign keeps only the
          metrics, so the event ring is minimal; metrics collection is
-         unconditional. Reset between runs by [execute_into]. *)
+         unconditional. Reset between runs by [execute_into]. With
+         postmortems on, the ring grows to hold one run's Warn+ events
+         (injections, detections, audits): the raw material a bundle's
+         causal timeline is cut from. Same shape on every worker, so
+         bundles stay jobs-invariant. *)
       let recorder =
-        Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
+        if postmortems then
+          Obs.Recorder.create ~capacity:256 ~min_level:Obs.Event.Warn ()
+        else Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
       in
       Obs.Recorder.set_alloc_profiling recorder alloc_profile;
       let w = Run.prepare ~recorder cfg in
+      (* Boot is seed-independent, so this baseline is identical on
+         every worker (bundle determinism relies on that). *)
+      if postmortems then
+        acc.acc_pm_ledger <- Some (Hyper.Ledger.capture w.Run.w_hv);
       acc.acc_worker <- Some w;
       w
   in
@@ -212,11 +234,39 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
         (Obs.Recorder.metrics_snapshot (Run.worker_recorder w))
   in
   let seed_of i = Int64.add base_seed (Int64.of_int i) in
+  (* Triage a bad outcome (lazy: good outcomes return [None] from
+     [Postmortem.signature_of] and pay nothing). The bundle is only
+     assembled the first time this worker sees the signature; workers
+     process ascending seeds, so the captured seed is the worker-local
+     minimum and the commutative triage merge keeps the global-minimum
+     exemplar -- the same one a sequential campaign captures. *)
+  let record_postmortem acc (w : Run.worker) (cfg : Run.config) out ~seed
+      ~repro =
+    match
+      Postmortem.signature_of cfg ~first_target:w.Run.w_last_target out
+    with
+    | None -> ()
+    | Some sg ->
+      let tr = acc.acc_totals.triage in
+      let bundle =
+        if Obs.Postmortem.Triage.mem tr sg then None
+        else
+          Some
+            (Postmortem.capture ~signature:sg ~hv:w.Run.w_hv
+               ~golden_ledger:acc.acc_pm_ledger ~repro
+               ~config:(Postmortem.config_fields cfg ~fanout) ~seed out)
+      in
+      Obs.Postmortem.Triage.record ?bundle tr sg ~seed
+  in
   let run_one acc i =
     let cfg = { cfg with Run.seed = seed_of i } in
     let w = worker_of acc cfg in
-    add_outcome acc.acc_totals (Run.execute_into w cfg);
-    merge_run_metrics acc w
+    let out = Run.execute_into w cfg in
+    add_outcome acc.acc_totals out;
+    merge_run_metrics acc w;
+    if postmortems then
+      record_postmortem acc w cfg out ~seed:(seed_of i)
+        ~repro:(Postmortem.repro_line cfg ~seed:(seed_of i) ~runs:1 ~fanout:1)
   in
   (* One fan-out batch: runs [g * fanout .. min n ((g+1) * fanout) - 1],
      prepared once and cloned per run. A batch is a single [body] call,
@@ -229,8 +279,17 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
     let w = worker_of acc group_cfg in
     let src = Run.prepare_clone w group_cfg in
     for i = first to last do
-      add_outcome acc.acc_totals (Run.clone_into ~reseed:(seed_of i) src);
-      merge_run_metrics acc w
+      let out = Run.clone_into ~reseed:(seed_of i) src in
+      add_outcome acc.acc_totals out;
+      merge_run_metrics acc w;
+      if postmortems then
+        (* The repro is the batch prefix up to this variant: a fan-out
+           variant's warmup comes from the batch's first seed, so the
+           seed alone does not reproduce it. *)
+        record_postmortem acc w group_cfg out ~seed:(seed_of i)
+          ~repro:
+            (Postmortem.repro_line group_cfg ~seed:(seed_of first)
+               ~runs:(i - first + 1) ~fanout)
     done
   in
   let pool_n, body =

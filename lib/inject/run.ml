@@ -91,6 +91,9 @@ type state = {
   benchmarks : Workloads.Workload.t list;
   mutable last_cpu : int; (* CPU of the most recent hypervisor step *)
   mutable fault_applied : bool;
+  mutable first_target : string option;
+      (* first structure the fault corrupted ("failstop" for pure
+         crashes): the target axis of the failure signature *)
 }
 
 let hv_setup_of cfg =
@@ -133,7 +136,16 @@ let make_state cfg rng (hv : Hypervisor.t) =
   let mix =
     Workloads.System_mix.create ~benchmarks ~active_cpus ~blk_dom ~net_dom
   in
-  { cfg; rng; hv; mix; benchmarks; last_cpu = 0; fault_applied = false }
+  {
+    cfg;
+    rng;
+    hv;
+    mix;
+    benchmarks;
+    last_cpu = 0;
+    fault_applied = false;
+    first_target = None;
+  }
 
 (* Boot the hypervisor for [cfg] on a fresh clock. The single boot
    construction shared by the fresh-boot path ([boot_state]), the worker
@@ -188,6 +200,7 @@ let arm_fault st =
           if !countdown <= 0 then begin
             st.fault_applied <- true;
             let note_fault target_name =
+              if st.first_target = None then st.first_target <- Some target_name;
               Obs.Metrics.incr hv.Hypervisor.obs.Obs.Recorder.faults_injected;
               Obs.Recorder.event hv.Hypervisor.obs
                 ~time:(Sim.Clock.now hv.Hypervisor.clock)
@@ -536,9 +549,23 @@ let finish_prepared st ~initial_app_domids : outcome =
   | Silent_corruption -> Obs.Metrics.incr obs.Obs.Recorder.outcome_sdc
   | Detected d ->
     Obs.Metrics.incr obs.Obs.Recorder.outcome_detected;
-    if d.recovery_latency > 0 then
+    if d.recovery_latency > 0 then begin
       Obs.Metrics.observe obs.Obs.Recorder.recovery_latency_ms
-        (d.recovery_latency / 1_000_000));
+        (d.recovery_latency / 1_000_000);
+      Obs.Metrics.observe obs.Obs.Recorder.recovery_latency_ns
+        d.recovery_latency
+    end;
+    (* Per-phase recovery timings into the log-bucket histogram: the
+       quantile source for "where does the recovery tail come from". *)
+    (match d.breakdown with
+    | Some b ->
+      List.iter
+        (fun (_, ns) ->
+          if ns > 0 then
+            Obs.Metrics.observe obs.Obs.Recorder.recovery_phase_ns ns)
+        b.Latency_model.steps
+    | None -> ()));
+  Obs.Metrics.observe obs.Obs.Recorder.run_latency_ns now;
   Obs.Metrics.set obs.Obs.Recorder.run_end_time_ns now;
   Obs.Recorder.event obs ~time:now Obs.Event.Info
     (Obs.Event.Outcome_classified { name = outcome_name out });
@@ -600,6 +627,9 @@ type worker = {
          fall back to reset-in-place to get a booted machine again *)
   mutable w_golden_ledger : Ledger.t option; (* captured with the image when auditing *)
   mutable w_audit_restores : bool;
+  mutable w_last_target : string option;
+      (* [first_target] of the most recent run: postmortem capture reads
+         it after [execute_into]/[clone_into] return *)
 }
 
 let boot_key_of (cfg : config) =
@@ -654,6 +684,7 @@ let prepare ?recorder (cfg : config) =
       w_image_is_boot = true;
       w_golden_ledger = None;
       w_audit_restores = false;
+      w_last_target = None;
     }
   in
   w
@@ -685,7 +716,10 @@ let rewind w (cfg : config) =
   else if boot_key_of cfg <> w.w_boot_key || not w.w_image_is_boot then begin
     (* The golden image is unusable: either it was taken for different
        boot parameters, or a clone fan-out replaced it with a trigger-
-       point image. Reset in place and retake it. *)
+       point image. Reset in place and retake it. The recorder survives
+       [reboot_in_place] (flight-recorder contract), so the per-run
+       metric isolation reset is explicit here. *)
+    Obs.Recorder.reset w.w_hv.Hypervisor.obs;
     Hypervisor.reboot_in_place w.w_hv ~config:cfg.hv_config
       ~setup:(hv_setup_of cfg) ~vcpus_per_cpu:cfg.vcpus_per_cpu;
     w.w_boot_key <- boot_key_of cfg;
@@ -695,7 +729,8 @@ let rewind w (cfg : config) =
     (* The fast path, taken for every run of a homogeneous campaign --
        including after [died]/unrecovered outcomes, which used to force
        a fresh boot's worth of work. The recorder is not part of the
-       image; reset it by hand ([reboot_in_place] does the same). *)
+       image and survives [restore]; reset it by hand for per-run
+       metric isolation. *)
     Obs.Recorder.reset w.w_hv.Hypervisor.obs;
     Hypervisor.restore w.w_hv w.w_image;
     check_restore_leaks w
@@ -706,7 +741,13 @@ let execute_into w (cfg : config) : outcome =
      (the mark survives the recorder reset inside the rewind). *)
   Obs.Recorder.alloc_begin w.w_hv.Hypervisor.obs;
   rewind w cfg;
-  run_prepared (make_state cfg w.w_rng w.w_hv)
+  (* New flight-ring epoch: the rings survive the rewind by design, so
+     scope this run's readback to its own entries. *)
+  Hypervisor.new_flight_epoch w.w_hv;
+  let st = make_state cfg w.w_rng w.w_hv in
+  let out = run_prepared st in
+  w.w_last_target <- st.first_target;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Clone fan-out: one warmed-up image, many fault variants              *)
@@ -771,8 +812,12 @@ let clone_into ?reseed (src : clone_source) : outcome =
   Obs.Recorder.reset r;
   Obs.Metrics.restore r.Obs.Recorder.metrics src.cs_metrics;
   check_restore_leaks w;
+  Hypervisor.new_flight_epoch st.hv;
   Sim.Rng.reseed st.rng
     (match reseed with Some s -> s | None -> src.cs_rng_pos);
   st.fault_applied <- false;
+  st.first_target <- None;
   st.last_cpu <- src.cs_last_cpu;
-  finish_prepared st ~initial_app_domids:src.cs_initial_app_domids
+  let out = finish_prepared st ~initial_app_domids:src.cs_initial_app_domids in
+  w.w_last_target <- st.first_target;
+  out

@@ -152,8 +152,16 @@ let metrics_json ?(meta = []) (s : Metrics.snapshot) =
       Buffer.add_string buf ",\"counts\":";
       add_int_list buf h.Metrics.h_counts;
       Buffer.add_string buf
-        (Printf.sprintf ",\"sum\":%d,\"samples\":%d}" h.Metrics.h_sum
-           h.Metrics.h_samples))
+        (Printf.sprintf ",\"sum\":%d,\"samples\":%d" h.Metrics.h_sum
+           h.Metrics.h_samples);
+      (* Bucket-resolution quantile estimates (see [Metrics.quantile]);
+         omitted for empty histograms, where no rank exists. *)
+      (match (Metrics.p50 h, Metrics.p99 h, Metrics.p999 h) with
+      | Some p50, Some p99, Some p999 ->
+        Buffer.add_string buf
+          (Printf.sprintf ",\"p50\":%d,\"p99\":%d,\"p999\":%d" p50 p99 p999)
+      | _ -> ());
+      Buffer.add_char buf '}')
     s.Metrics.histograms;
   Buffer.add_string buf "}}\n";
   Buffer.contents buf

@@ -88,16 +88,54 @@ let histogram t name ~bounds =
     Hashtbl.add t.table name (Histogram h);
     h
 
+(* ------------------------------------------------------------------ *)
+(* Log-bucket (HDR-style) histograms                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Geometric growth step shared by the bound generator and the quantile
+   error bound: the next bound is ~25% above the previous one, so any
+   estimate read off a bucket's upper bound is within 25% (one bucket's
+   relative width) of the true value. Integer arithmetic only -- no libm,
+   so bounds are bit-identical on every platform. *)
+let log_step b = b + max 1 (b / 4)
+
+(* Relative width of the widest bucket: [quantile] answers are upper
+   bounds of the bucket holding the requested rank, so the estimate
+   overshoots the true value by at most this fraction. *)
+let log_relative_error = 0.25
+
+(* Geometric bucket bounds from [lo] to at least [hi] (both clamped to
+   >= 1): each bound is [log_step] of the previous. ~72 buckets cover
+   1us..10s in nanoseconds. *)
+let log_bounds ~lo ~hi =
+  let lo = max 1 lo and hi = max 1 hi in
+  let rec build acc b = if b >= hi then List.rev (b :: acc) else build (b :: acc) (log_step b) in
+  Array.of_list (build [] lo)
+
+(* A fixed-relative-error histogram: same instrument type as [histogram],
+   just with generated geometric bounds, so snapshot / restore / merge
+   all apply unchanged. *)
+let log_histogram t name ~lo ~hi = histogram t name ~bounds:(log_bounds ~lo ~hi)
+
 let incr ?(by = 1) c = c.count <- c.count + by
 let set g v = g.value <- v
 
 (* A value lands in the first bucket whose (inclusive) upper bound is
-   >= v; values above every bound land in the trailing overflow bucket. *)
+   >= v; values above every bound land in the trailing overflow bucket.
+   Binary search: log-bucket histograms have ~70+ buckets, so the old
+   linear scan would dominate the hot injection loop. *)
 let observe h v =
   let n = Array.length h.bounds in
-  let rec find i = if i >= n then n else if v <= h.bounds.(i) then i else find (i + 1) in
-  let idx = find 0 in
-  h.counts.(idx) <- h.counts.(idx) + 1;
+  if n = 0 || v > h.bounds.(n - 1) then h.counts.(n) <- h.counts.(n) + 1
+  else begin
+    (* Invariant: bounds.(hi) >= v, and bounds.(lo-1) < v (lo = 0 ok). *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if h.bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    h.counts.(!lo) <- h.counts.(!lo) + 1
+  end;
   h.sum <- h.sum + v;
   h.samples <- h.samples + 1
 
@@ -126,6 +164,41 @@ type hist_snapshot = {
   h_sum : int;
   h_samples : int;
 }
+
+(* Quantile estimation over a histogram snapshot: the answer is the
+   (inclusive) upper bound of the first bucket whose cumulative count
+   reaches rank ceil(q * samples). For geometric [log_bounds] buckets
+   this overshoots the exact order statistic by at most
+   [log_relative_error]; for the trailing unbounded overflow bucket the
+   estimate is clamped to one growth step past the top bound. *)
+let quantile hs q =
+  if hs.h_samples <= 0 || q < 0.0 || q > 1.0 then None
+  else begin
+    let rank = max 1 (min hs.h_samples (int_of_float (ceil (q *. float_of_int hs.h_samples)))) in
+    let rec walk cum bounds counts =
+      match (bounds, counts) with
+      | [], [ overflow ] ->
+        ignore overflow;
+        (* rank falls in the overflow bucket: no upper bound, so answer
+           one geometric step past the last finite bound (or the mean for
+           a histogram with no bounds at all). *)
+        None
+      | b :: rb, c :: rc ->
+        let cum = cum + c in
+        if cum >= rank then Some b else walk cum rb rc
+      | _ -> None
+    in
+    match walk 0 hs.h_bounds hs.h_counts with
+    | Some b -> Some b
+    | None ->
+      (match List.rev hs.h_bounds with
+      | top :: _ -> Some (log_step top)
+      | [] -> Some (hs.h_sum / hs.h_samples))
+  end
+
+let p50 hs = quantile hs 0.50
+let p99 hs = quantile hs 0.99
+let p999 hs = quantile hs 0.999
 
 (* Canonical (name-sorted) immutable view. Two registries produce equal
    snapshots iff every instrument agrees, regardless of registration or

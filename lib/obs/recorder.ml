@@ -37,6 +37,12 @@ type t = {
   faults_injected : Metrics.counter;
   detections : Metrics.counter;
   recovery_latency_ms : Metrics.histogram;
+  (* Log-bucket (geometric) latency histograms: the fleet-tail primitive.
+     Nanosecond-resolution with ~25% relative error, so p50/p99/p999 can
+     be read off campaign aggregates (see [Metrics.quantile]). *)
+  run_latency_ns : Metrics.histogram;
+  recovery_latency_ns : Metrics.histogram;
+  recovery_phase_ns : Metrics.histogram;
   (* Outcome classification instruments. Registered eagerly so a reused
      recorder's registry is structurally identical to a fresh per-run one
      (lazily registering them on first use would make snapshots differ
@@ -67,6 +73,11 @@ type t = {
    get their own buckets so miscalibrations show up. *)
 let latency_bounds_ms = [| 1; 4; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
 
+(* Geometric bounds for the nanosecond histograms: 1us up to ~100s
+   covers everything from a single recovery phase to a whole run. *)
+let log_lo_ns = 1_000
+let log_hi_ns = 100_000_000_000
+
 let create ?(capacity = 4096) ?(min_level = Event.Info) () =
   let metrics = Metrics.create () in
   {
@@ -83,6 +94,14 @@ let create ?(capacity = 4096) ?(min_level = Event.Info) () =
     detections = Metrics.counter metrics "detect.detections";
     recovery_latency_ms =
       Metrics.histogram metrics "recovery.latency_ms" ~bounds:latency_bounds_ms;
+    run_latency_ns =
+      Metrics.log_histogram metrics "run.latency_ns" ~lo:log_lo_ns ~hi:log_hi_ns;
+    recovery_latency_ns =
+      Metrics.log_histogram metrics "recovery.latency_ns" ~lo:log_lo_ns
+        ~hi:log_hi_ns;
+    recovery_phase_ns =
+      Metrics.log_histogram metrics "recovery.phase_ns" ~lo:log_lo_ns
+        ~hi:log_hi_ns;
     outcome_non_manifested = Metrics.counter metrics "outcome.non_manifested";
     outcome_sdc = Metrics.counter metrics "outcome.sdc";
     outcome_detected = Metrics.counter metrics "outcome.detected";
@@ -139,6 +158,10 @@ let alloc_phase t phase =
 let alloc_close t = alloc_phase t t.alloc_cur
 
 let set_min_level t level = Trace.set_min_level t.trace level
+let min_level t = Trace.min_level t.trace
+
+(* Oldest-first view of the event ring, for postmortem assembly. *)
+let events t = Trace.to_list t.trace
 
 let clear t =
   Trace.clear t.trace;

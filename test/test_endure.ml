@@ -159,6 +159,7 @@ let make_scenario ?(seed = 1L) ?(end_state = Endure.Survived)
     sc_death_why = death_why;
     sc_first_latent = None;
     sc_cycles = cycles;
+    sc_postmortem = None;
   }
 
 let test_budget_accounting () =

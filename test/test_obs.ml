@@ -127,6 +127,131 @@ let test_merge_commutative () =
     [ 1; 0; 1 ] h.Obs.Metrics.h_counts;
   checki "histogram sum" 16 h.Obs.Metrics.h_sum
 
+(* ------------------ Log-bucket histograms and quantiles ------------- *)
+
+let test_log_bounds () =
+  let lo = 1_000 and hi = 100_000_000_000 in
+  let bounds = Obs.Metrics.log_bounds ~lo ~hi in
+  checki "starts at lo" lo bounds.(0);
+  checkb "covers hi" true (bounds.(Array.length bounds - 1) >= hi);
+  Array.iteri
+    (fun i b ->
+      if i > 0 then begin
+        checkb "strictly increasing" true (b > bounds.(i - 1));
+        checki "each bound is one geometric step" (Obs.Metrics.log_step bounds.(i - 1)) b
+      end)
+    bounds;
+  (* ~25% growth spans 8 decades in well under 120 buckets -- the point
+     of geometric bounds vs linear ones. *)
+  checkb "bucket count stays small" true (Array.length bounds < 120)
+
+let test_log_observe_bucket_rule () =
+  (* The binary-search [observe] must agree with the documented rule:
+     first bucket whose inclusive upper bound is >= v, overflow past the
+     last bound. *)
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.log_histogram m "ns" ~lo:10 ~hi:1_000 in
+  let hs () = List.assoc "ns" (Obs.Metrics.snapshot m).Obs.Metrics.histograms in
+  let bounds = (hs ()).Obs.Metrics.h_bounds in
+  let values =
+    [ 0; 1; 9; 10; 11; 12; 13; 499; 500; 999; 1_000; 1_500; 50_000 ]
+    @ bounds (* every exact bound lands in its own bucket *)
+  in
+  List.iter (Obs.Metrics.observe h) values;
+  let expect = Array.make (List.length bounds + 1) 0 in
+  List.iter
+    (fun v ->
+      let rec idx i = function
+        | [] -> i
+        | b :: _ when v <= b -> i
+        | _ :: r -> idx (i + 1) r
+      in
+      let i = idx 0 bounds in
+      expect.(i) <- expect.(i) + 1)
+    values;
+  Alcotest.check (Alcotest.list Alcotest.int) "binary search matches the rule"
+    (Array.to_list expect) (hs ()).Obs.Metrics.h_counts
+
+let test_quantile_accuracy () =
+  (* Estimated quantiles of a known skewed distribution stay within one
+     bucket's relative error (25%) above the exact order statistic. *)
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.log_histogram m "lat" ~lo:100 ~hi:10_000_000 in
+  let state = ref 12345 in
+  let next () =
+    (* Deterministic LCG; squaring skews the tail like a latency curve. *)
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    let u = !state mod 10_000 in
+    100 + (u * u / 30)
+  in
+  let values = List.init 5_000 (fun _ -> next ()) in
+  List.iter (Obs.Metrics.observe h) values;
+  let sorted = List.sort compare values in
+  let hs = List.assoc "lat" (Obs.Metrics.snapshot m).Obs.Metrics.histograms in
+  let check_q name q est =
+    let n = List.length sorted in
+    let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+    let exact = List.nth sorted (rank - 1) in
+    let est = match est with Some e -> e | None -> Alcotest.fail (name ^ " undefined") in
+    checkb (name ^ " >= exact order statistic") true (est >= exact);
+    checkb
+      (Printf.sprintf "%s %d within 25%% above exact %d" name est exact)
+      true
+      (float_of_int est
+      <= float_of_int exact *. (1.0 +. Obs.Metrics.log_relative_error) +. 1.0)
+  in
+  check_q "p50" 0.50 (Obs.Metrics.p50 hs);
+  check_q "p99" 0.99 (Obs.Metrics.p99 hs);
+  check_q "p999" 0.999 (Obs.Metrics.p999 hs);
+  (* Quantiles are monotone in q. *)
+  let g = function Some v -> v | None -> -1 in
+  checkb "p50 <= p99 <= p999" true
+    (g (Obs.Metrics.p50 hs) <= g (Obs.Metrics.p99 hs)
+    && g (Obs.Metrics.p99 hs) <= g (Obs.Metrics.p999 hs))
+
+let test_quantile_edge_cases () =
+  let empty =
+    { Obs.Metrics.h_bounds = [ 10 ]; h_counts = [ 0; 0 ]; h_sum = 0; h_samples = 0 }
+  in
+  checkb "empty histogram has no quantiles" true (Obs.Metrics.p99 empty = None);
+  let overflow =
+    { Obs.Metrics.h_bounds = [ 10; 20 ]; h_counts = [ 0; 0; 4 ]; h_sum = 400; h_samples = 4 }
+  in
+  (* Rank in the unbounded overflow bucket: clamp to one growth step past
+     the top bound rather than inventing a value. *)
+  checkb "overflow clamps one step past top" true
+    (Obs.Metrics.p99 overflow = Some (Obs.Metrics.log_step 20))
+
+let test_metrics_restore_roundtrip () =
+  let build m =
+    ( Obs.Metrics.counter m "c",
+      Obs.Metrics.gauge m "g",
+      Obs.Metrics.histogram m "h" ~bounds:[| 5; 10 |],
+      Obs.Metrics.log_histogram m "lh" ~lo:1_000 ~hi:100_000_000 )
+  in
+  let m = Obs.Metrics.create () in
+  let c, g, h, lh = build m in
+  Obs.Metrics.incr ~by:3 c;
+  Obs.Metrics.set g 9;
+  List.iter (Obs.Metrics.observe h) [ 1; 7; 100 ];
+  List.iter (Obs.Metrics.observe lh) [ 999; 5_000; 123_456; 1_000_000_000 ];
+  let s = Obs.Metrics.snapshot m in
+  (* Restore into a fresh registry with the same registrations: snapshots
+     must be bit-identical, log-bucket histograms included. *)
+  let m2 = Obs.Metrics.create () in
+  let _, _, _, lh2 = build m2 in
+  Obs.Metrics.restore m2 s;
+  checkb "fresh registry round-trips" true (Obs.Metrics.snapshot m2 = s);
+  (* A dirtied registry is fully overwritten by a second restore. *)
+  Obs.Metrics.observe lh2 77_777;
+  Obs.Metrics.restore m2 s;
+  checkb "dirty registry overwritten" true (Obs.Metrics.snapshot m2 = s);
+  (* Quantiles computed from the restored snapshot agree. *)
+  let q snap =
+    Obs.Metrics.p99 (List.assoc "lh" snap.Obs.Metrics.histograms)
+  in
+  checkb "quantiles survive restore" true (q (Obs.Metrics.snapshot m2) = q s)
+
 (* ------------------------- Campaign metrics ------------------------- *)
 
 let run_cfg ?(fault = Inject.Fault.Register) ~seed () =
@@ -228,6 +353,14 @@ let () =
             test_histogram_bucket_boundaries;
           Alcotest.test_case "instrument reuse" `Quick test_instrument_reuse;
           Alcotest.test_case "merge commutative" `Quick test_merge_commutative;
+          Alcotest.test_case "log bounds geometric" `Quick test_log_bounds;
+          Alcotest.test_case "log observe bucket rule" `Quick
+            test_log_observe_bucket_rule;
+          Alcotest.test_case "quantile accuracy" `Quick test_quantile_accuracy;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_quantile_edge_cases;
+          Alcotest.test_case "restore round-trip" `Quick
+            test_metrics_restore_roundtrip;
         ] );
       ( "campaign",
         [

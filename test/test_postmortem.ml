@@ -1,0 +1,296 @@
+(* Tests for the postmortem subsystem: the crash-surviving flight
+   recorder (rings and counters outlive restore / in-place reboot, with
+   epoch-scoped readback), the failure-signature grammar, the
+   commutative triage merge with min-seed exemplars, and end-to-end
+   determinism of campaign / endurance triage across --jobs and
+   --fanout splits, including repro-line fidelity. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------- Flight rings ----------------------------- *)
+
+let test_flight_epoch_scoping () =
+  let f = Obs.Flight.create ~capacity:4 () in
+  Obs.Flight.note f ~name:"a" ~time:1;
+  Obs.Flight.note f ~name:"b" ~time:2;
+  checkb "tail oldest-first" true (Obs.Flight.tail f = [ ("a", 1); ("b", 2) ]);
+  Obs.Flight.new_epoch f;
+  checkb "entries of prior epochs invisible" true (Obs.Flight.tail f = []);
+  Obs.Flight.note f ~name:"c" ~time:3;
+  checkb "current epoch only" true (Obs.Flight.tail f = [ ("c", 3) ]);
+  (* Prior-epoch entries remain readable explicitly until overwritten. *)
+  checkb "prior epoch readable by number" true
+    (Obs.Flight.tail ~epoch:0 f = [ ("a", 1); ("b", 2) ]);
+  List.iter (fun i -> Obs.Flight.note f ~name:"x" ~time:i) [ 4; 5; 6; 7; 8 ];
+  checki "wraparound keeps ring bounded" 4 (List.length (Obs.Flight.tail f));
+  checki "total counts every note ever" 8 (Obs.Flight.total f)
+
+(* The rings on a hypervisor survive snapshot/restore and in-place
+   reboot -- the crash-surviving contract postmortem capture rests on. *)
+let test_flight_survives_restore () =
+  let clock = Sim.Clock.create () in
+  let recorder =
+    Obs.Recorder.create ~capacity:64 ~min_level:Obs.Event.Debug ()
+  in
+  let hv =
+    Hyper.Hypervisor.boot ~obs:recorder ~config:Hyper.Config.nilihype
+      ~setup:Hyper.Hypervisor.Three_appvm clock
+  in
+  Hyper.Hypervisor.new_flight_epoch hv;
+  let rng = Sim.Rng.create 5L in
+  Hyper.Hypervisor.execute hv rng
+    (Hyper.Hypervisor.Hypercall
+       { domid = 1; vid = 0; kind = Hyper.Hypercalls.Update_va_mapping });
+  let tail = Hyper.Hypervisor.hypercall_tail hv in
+  checkb "hypercall noted in flight ring" true
+    (List.exists (fun (n, _) -> n = "update_va_mapping") tail);
+  let c = Obs.Metrics.counter recorder.Obs.Recorder.metrics "probe" in
+  Obs.Metrics.incr ~by:7 c;
+  (* Restore from a snapshot: machine state rewinds, evidence stays. *)
+  let image = Hyper.Hypervisor.snapshot hv in
+  Hyper.Hypervisor.restore hv image;
+  checkb "flight tail survives restore" true
+    (Hyper.Hypervisor.hypercall_tail hv = tail);
+  checki "metrics survive restore" 7
+    (List.assoc "probe"
+       (Obs.Metrics.snapshot recorder.Obs.Recorder.metrics).Obs.Metrics.counters);
+  (* In-place reboot: same contract. *)
+  Hyper.Hypervisor.reboot_in_place hv ~config:Hyper.Config.nilihype
+    ~setup:Hyper.Hypervisor.Three_appvm ~vcpus_per_cpu:1;
+  checkb "flight tail survives reboot_in_place" true
+    (Hyper.Hypervisor.hypercall_tail hv = tail);
+  checki "metrics survive reboot_in_place" 7
+    (List.assoc "probe"
+       (Obs.Metrics.snapshot recorder.Obs.Recorder.metrics).Obs.Metrics.counters);
+  (* The harness-side run boundary is the epoch bump, not a clear. *)
+  Hyper.Hypervisor.new_flight_epoch hv;
+  checkb "epoch bump scopes the next run" true
+    (Hyper.Hypervisor.hypercall_tail hv = [])
+
+(* ------------------------- Signatures ------------------------------- *)
+
+let test_signature_grammar () =
+  let sg =
+    Obs.Signature.make ~fault:"register" ~target:"pfn entry" ~cause:"hv died"
+      ~branch:"NiLiHype/aborted"
+  in
+  let key = Obs.Signature.key sg in
+  checks "separator-safe key" "register|pfn_entry|hv_died|NiLiHype/aborted" key;
+  (match Obs.Signature.of_key key with
+  | Some sg2 -> checkb "key round-trips" true (Obs.Signature.equal sg sg2)
+  | None -> Alcotest.fail "of_key rejected its own key");
+  checkb "malformed keys rejected" true
+    (Obs.Signature.of_key "only|three|parts" = None);
+  let empty = Obs.Signature.make ~fault:"" ~target:"" ~cause:"" ~branch:"" in
+  checks "empty axes normalise" "unknown|unknown|unknown|unknown"
+    (Obs.Signature.key empty)
+
+(* ------------------------- Triage merge ----------------------------- *)
+
+let bundle sg seed =
+  Obs.Postmortem.make ~signature:sg ~outcome:"detected" ~seed
+    ~repro:(Printf.sprintf "repro %Ld" seed)
+    ~config:[] ~events:[] ~phases:[] ~hypercalls:[] ~journal_tail:[]
+    ~ledger_diff:[]
+
+let test_triage_merge () =
+  let sg = Obs.Signature.make ~fault:"f" ~target:"t" ~cause:"c" ~branch:"b" in
+  let sg2 = Obs.Signature.make ~fault:"f" ~target:"t2" ~cause:"c" ~branch:"b" in
+  (* Worker A sees seeds 5 and 9; worker B sees seed 3 (and another
+     signature). Each worker captures a bundle only at its first
+     occurrence, like the campaign does. *)
+  let a = Obs.Postmortem.Triage.create () in
+  Obs.Postmortem.Triage.record ~bundle:(bundle sg 5L) a sg ~seed:5L;
+  Obs.Postmortem.Triage.record a sg ~seed:9L;
+  let b = Obs.Postmortem.Triage.create () in
+  Obs.Postmortem.Triage.record ~bundle:(bundle sg 3L) b sg ~seed:3L;
+  Obs.Postmortem.Triage.record ~bundle:(bundle sg2 4L) b sg2 ~seed:4L;
+  let merged_ab = Obs.Postmortem.Triage.create () in
+  Obs.Postmortem.Triage.merge_into ~into:merged_ab a;
+  Obs.Postmortem.Triage.merge_into ~into:merged_ab b;
+  let merged_ba = Obs.Postmortem.Triage.create () in
+  Obs.Postmortem.Triage.merge_into ~into:merged_ba b;
+  Obs.Postmortem.Triage.merge_into ~into:merged_ba a;
+  checkb "merge is commutative" true
+    (Obs.Postmortem.Triage.snapshot merged_ab
+    = Obs.Postmortem.Triage.snapshot merged_ba);
+  checki "counts sum" 4 (Obs.Postmortem.Triage.total merged_ab);
+  checki "signatures deduped" 2 (Obs.Postmortem.Triage.signatures merged_ab);
+  (match
+     List.assoc_opt (Obs.Signature.key sg)
+       (Obs.Postmortem.Triage.snapshot merged_ab)
+   with
+  | Some e1 ->
+    Alcotest.check
+      (Alcotest.list Alcotest.int64)
+      "seed sets union ascending" [ 3L; 5L; 9L ]
+      e1.Obs.Postmortem.Triage.e_seeds;
+    (match e1.Obs.Postmortem.Triage.e_exemplar with
+    | Some (seed, b) ->
+      checkb "exemplar is the min-seed bundle" true
+        (seed = 3L && b.Obs.Postmortem.pm_seed = 3L)
+    | None -> Alcotest.fail "merged entry lost its exemplar")
+  | None -> Alcotest.fail "merged table lost the shared signature");
+  (* Byte-level determinism of the exported document. *)
+  checkb "triage JSON identical either merge order" true
+    (Obs.Postmortem.Triage.to_json merged_ab
+    = Obs.Postmortem.Triage.to_json merged_ba)
+
+(* --------------------- Campaign determinism ------------------------- *)
+
+let dead_cfg =
+  {
+    Inject.Run.default_config with
+    Inject.Run.fault = Inject.Fault.Failstop;
+    mech = Inject.Run.No_recovery;
+    hv_config = Hyper.Config.stock;
+  }
+
+let mixed_cfg =
+  {
+    Inject.Run.default_config with
+    Inject.Run.fault = Inject.Fault.Register;
+    mech = Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+    hv_config = Hyper.Config.nilihype;
+  }
+
+let triage_of (r : Inject.Campaign.result) =
+  r.Inject.Campaign.totals.Inject.Campaign.triage
+
+let test_campaign_triage_jobs_invariant () =
+  let run jobs =
+    Inject.Campaign.run ~base_seed:300L ~jobs ~oversubscribe:(jobs > 1)
+      ~postmortems:true ~n:60 mixed_cfg
+  in
+  let seq = run 1 and par = run 4 in
+  checkb "campaign snapshots identical (triage included)" true
+    (Inject.Campaign.snapshot seq.Inject.Campaign.totals
+    = Inject.Campaign.snapshot par.Inject.Campaign.totals);
+  checkb "triage JSON byte-identical jobs=1 vs jobs=4" true
+    (Obs.Postmortem.Triage.to_json (triage_of seq)
+    = Obs.Postmortem.Triage.to_json (triage_of par))
+
+let test_campaign_triage_fanout_invariant () =
+  let run jobs =
+    Inject.Campaign.run ~base_seed:300L ~jobs ~oversubscribe:(jobs > 1)
+      ~fanout:3 ~postmortems:true ~n:60 mixed_cfg
+  in
+  let seq = run 1 and par = run 4 in
+  checkb "fanout triage JSON byte-identical across jobs" true
+    (Obs.Postmortem.Triage.to_json (triage_of seq)
+    = Obs.Postmortem.Triage.to_json (triage_of par))
+
+let test_campaign_capture_does_not_perturb () =
+  let run postmortems =
+    Inject.Campaign.run ~base_seed:300L ~postmortems ~n:40 mixed_cfg
+  in
+  let off = Inject.Campaign.snapshot (run false).Inject.Campaign.totals in
+  let on = Inject.Campaign.snapshot (run true).Inject.Campaign.totals in
+  checkb "capture changes nothing but the triage table" true
+    ({ on with Inject.Campaign.s_triage = [] } = off)
+
+let test_campaign_bundles_and_repro () =
+  let dead =
+    Inject.Campaign.run ~base_seed:400L ~postmortems:true ~n:12 dead_cfg
+  in
+  let entries = Obs.Postmortem.Triage.snapshot (triage_of dead) in
+  checkb "died campaign emits at least one bundle" true
+    (List.exists
+       (fun (_, e) -> e.Obs.Postmortem.Triage.e_exemplar <> None)
+       entries);
+  List.iter
+    (fun (key, e) ->
+      match e.Obs.Postmortem.Triage.e_exemplar with
+      | None -> ()
+      | Some (seed, b) ->
+        checkb "bundle has a repro line" true (b.Obs.Postmortem.pm_repro <> "");
+        checkb "bundle timeline is non-empty" true
+          (b.Obs.Postmortem.pm_timeline <> []);
+        (* The repro contract: --runs 1 --seed S lands in the same
+           signature. *)
+        let rerun =
+          Inject.Campaign.run ~base_seed:seed ~postmortems:true ~n:1 dead_cfg
+        in
+        (match Obs.Postmortem.Triage.snapshot (triage_of rerun) with
+        | [ (key', e') ] ->
+          checks "repro reproduces the signature" key key';
+          (match e'.Obs.Postmortem.Triage.e_exemplar with
+          | Some (_, b') ->
+            checks "same outcome class" b.Obs.Postmortem.pm_outcome
+              b'.Obs.Postmortem.pm_outcome
+          | None -> Alcotest.fail "repro run captured no bundle")
+        | l ->
+          Alcotest.fail
+            (Printf.sprintf "repro run produced %d signatures" (List.length l))))
+    entries
+
+(* --------------------- Endurance determinism ------------------------ *)
+
+let test_endurance_triage () =
+  let cfg =
+    {
+      Endure.default_config with
+      Endure.run_cfg =
+        {
+          Inject.Run.default_config with
+          Inject.Run.fault = Inject.Fault.Failstop;
+          mech =
+            Inject.Run.Mech
+              (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+          hv_config = Hyper.Config.nilihype;
+        };
+      cycles = 12;
+      leak_budget_pages = None;
+    }
+  in
+  let run jobs =
+    Endure.run ~base_seed:500L ~jobs ~oversubscribe:(jobs > 1)
+      ~postmortems:true ~scenarios:6 cfg
+  in
+  let seq = run 1 and par = run 2 in
+  checkb "endurance snapshots identical (triage included)" true
+    (Endure.snapshot seq.Endure.totals = Endure.snapshot par.Endure.totals);
+  (* Every death records exactly one triage occurrence, with a bundle
+     captured live at the point of death. *)
+  checki "triage total equals death count" seq.Endure.totals.Endure.deaths
+    (Obs.Postmortem.Triage.total seq.Endure.totals.Endure.triage);
+  List.iter
+    (fun (key, e) ->
+      match e.Obs.Postmortem.Triage.e_exemplar with
+      | None -> Alcotest.fail ("death signature without a bundle: " ^ key)
+      | Some (_, b) ->
+        checks "death bundles are outcome 'died'" "died"
+          b.Obs.Postmortem.pm_outcome;
+        checkb "death bundle names the endurance CLI" true
+          (String.length b.Obs.Postmortem.pm_repro > 0))
+    (Obs.Postmortem.Triage.snapshot seq.Endure.totals.Endure.triage)
+
+let () =
+  Alcotest.run "postmortem"
+    [
+      ( "flight",
+        [
+          Alcotest.test_case "epoch scoping" `Quick test_flight_epoch_scoping;
+          Alcotest.test_case "survives restore and reboot" `Quick
+            test_flight_survives_restore;
+        ] );
+      ( "signature",
+        [ Alcotest.test_case "grammar" `Quick test_signature_grammar ] );
+      ( "triage",
+        [ Alcotest.test_case "commutative merge" `Quick test_triage_merge ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "triage jobs-invariant" `Slow
+            test_campaign_triage_jobs_invariant;
+          Alcotest.test_case "triage fanout-invariant" `Slow
+            test_campaign_triage_fanout_invariant;
+          Alcotest.test_case "capture does not perturb results" `Quick
+            test_campaign_capture_does_not_perturb;
+          Alcotest.test_case "bundles and repro fidelity" `Quick
+            test_campaign_bundles_and_repro;
+        ] );
+      ( "endurance",
+        [ Alcotest.test_case "death triage" `Slow test_endurance_triage ] );
+    ]
