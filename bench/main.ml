@@ -23,13 +23,19 @@ let max_obs_overhead = ref 5.0 (* postmortems-on runs/s deficit ceiling, % *)
 let leak_budget = ref 8 (* max leaked pages per recovery in the smoke *)
 let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
 let max_words_per_run = ref 0.0 (* minor words/run ceiling in scaling; 0 = off *)
+let soak_out = ref "BENCH_soak.json"
+let soak_runs = ref 100_000
+let max_heap_growth = ref 15.0 (* top-heap growth ceiling 1e3 -> soak, % *)
 
 let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 
 (* campaign_smoke and scaling are perf-tracking targets, not part of the
    paper reproduction, so they only run when named explicitly. *)
 let perf_sections =
-  [ "campaign_smoke"; "scaling"; "endurance"; "alloc"; "snapshot"; "obs_overhead" ]
+  [
+    "campaign_smoke"; "scaling"; "endurance"; "alloc"; "snapshot";
+    "obs_overhead"; "soak";
+  ]
 
 let section name =
   if List.mem name perf_sections then List.mem name !sections
@@ -1164,6 +1170,184 @@ let obs_overhead () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Soak: million-run-scale streaming campaigns. Gates (a) constant      *)
+(* memory -- top-heap growth from a 10^3-run campaign to the 10^5+ soak *)
+(* must stay under --max-heap-growth -- and (b) kill -> resume          *)
+(* determinism: a campaign stopped mid-flight and resumed with a        *)
+(* different --jobs must reproduce the uninterrupted aggregate exactly, *)
+(* with a byte-identical final checkpoint file. BENCH_soak.json.        *)
+(* ------------------------------------------------------------------ *)
+
+let soak () =
+  hr "Soak: streaming aggregation, checkpoint/resume, machine pools";
+  tune_gc_for_campaigns ();
+  let n = max 1_000 !soak_runs in
+  let cfg =
+    {
+      Inject.Run.default_config with
+      Inject.Run.fault = Inject.Fault.Failstop;
+      setup = Inject.Run.Three_appvm;
+      mech =
+        Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+      hv_config = Hyper.Config.nilihype;
+    }
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let jobs = resolve_jobs () in
+  (* Machines for every worker slot boot once, up front, and serve the
+     small run, the soak, and the resume drills below. *)
+  let pool = Inject.Campaign.prepare_pool ~jobs cfg in
+  let ck path =
+    {
+      Inject.Campaign.ck_path = path;
+      ck_every = 16;
+      ck_resume = false;
+      ck_stop_after = None;
+    }
+  in
+  (* The top-heap high-water mark only ratchets up, and the major heap
+     keeps expanding toward its steady-state pacing for well past 10^3
+     runs no matter how small the live set is. Warm the collector to
+     steady state first so the small/soak comparison below measures
+     streaming-aggregation growth, not GC ramp-up. *)
+  let n_warm = min 20_000 (max 2_000 n) in
+  ignore
+    (Inject.Campaign.run ~label:"soak warmup" ~base_seed:110_000L ~jobs ~pool
+       ~n:n_warm cfg);
+  (* Small streaming campaign next: establishes the top-heap high-water
+     mark (a process-global maximum) that the soak must not materially
+     exceed -- THE constant-memory claim, measured end to end. *)
+  let small =
+    Inject.Campaign.run ~label:"soak small" ~base_seed:120_000L ~jobs ~pool
+      ~checkpoint:(ck "SOAK_small_checkpoint.json") ~n:1_000 cfg
+  in
+  (* The constant-memory gate compares the *live* heap -- what actually
+     survives a full major collection -- between the 10^3 campaign and
+     the soak. The top-heap high-water mark from [Gc.quick_stat] is
+     reported alongside, but only informationally: it ratchets up with
+     the collector's pacing for hundreds of thousands of runs even when
+     the live set is flat, so gating on it measures GC heuristics, not
+     the streaming accumulator. *)
+  let live_heap () =
+    (* Twice: the first finishes the in-flight incremental cycle, the
+       second collects everything that died during it. *)
+    Gc.full_major ();
+    Gc.full_major ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let live_small = live_heap () in
+  let heap_small = (Gc.quick_stat ()).Gc.top_heap_words in
+  Format.printf "10^3 streaming: %7.1f runs/s, live %d words, top heap %d@."
+    (Inject.Campaign.runs_per_sec small)
+    live_small heap_small;
+  let big =
+    Inject.Campaign.run ~label:"soak" ~base_seed:120_000L ~jobs ~pool
+      ~checkpoint:(ck "SOAK_checkpoint.json") ~n cfg
+  in
+  let live_big = live_heap () in
+  let heap_big = (Gc.quick_stat ()).Gc.top_heap_words in
+  (* Keep the pool reachable past the second measurement; its booted
+     machines dominate the live set, and letting the optimizer treat it
+     as dead after its last campaign would make the two live-heap
+     samples measure different worlds. *)
+  ignore (Sys.opaque_identity pool);
+  let rps = Inject.Campaign.runs_per_sec big in
+  let words_per_run =
+    big.Inject.Campaign.minor_words /. float_of_int (max 1 n)
+  in
+  let growth_pct =
+    100.0
+    *. float_of_int (live_big - live_small)
+    /. float_of_int (max 1 live_small)
+  in
+  Format.printf
+    "%d-run soak: %7.1f runs/s, %.0f minor words/run, live %d words \
+     (%+.2f%% vs 10^3), top heap %d@."
+    n rps words_per_run live_big growth_pct heap_big;
+  (* Kill -> resume determinism drill, small enough to run thrice. A
+     20-chunk prefix simulates the kill; the resume runs with a
+     different --jobs (oversubscribed so several domains actually run
+     on this host) and must land on the uninterrupted aggregate with a
+     byte-identical checkpoint. *)
+  let drill_n = 4_000 in
+  let drill ~path ~stop_after ~resume ~jobs ~oversubscribe =
+    (* No pool here: the resume runs with more jobs than the pool has
+       slots, and extra workers booting their own machine is exactly the
+       add-workers-on-resume scenario. *)
+    Inject.Campaign.run ~label:"resume drill" ~base_seed:130_000L ~jobs
+      ~oversubscribe ~chunk:64
+      ~checkpoint:
+        {
+          Inject.Campaign.ck_path = path;
+          ck_every = 4;
+          ck_resume = resume;
+          ck_stop_after = stop_after;
+        }
+      ~n:drill_n cfg
+  in
+  let killed =
+    drill ~path:"SOAK_resume.json" ~stop_after:(Some 20) ~resume:false ~jobs:1
+      ~oversubscribe:false
+  in
+  Format.printf "killed after %d/%d runs; resuming with jobs=2@."
+    killed.Inject.Campaign.totals.Inject.Campaign.runs drill_n;
+  let resumed =
+    drill ~path:"SOAK_resume.json" ~stop_after:None ~resume:true ~jobs:2
+      ~oversubscribe:true
+  in
+  let uninterrupted =
+    drill ~path:"SOAK_uninterrupted.json" ~stop_after:None ~resume:false
+      ~jobs:1 ~oversubscribe:false
+  in
+  let resume_identical =
+    Inject.Campaign.snapshot resumed.Inject.Campaign.totals
+    = Inject.Campaign.snapshot uninterrupted.Inject.Campaign.totals
+  in
+  let bytes_identical =
+    read_file "SOAK_resume.json" = read_file "SOAK_uninterrupted.json"
+  in
+  Format.printf "resume aggregate identical: %b, checkpoint bytes identical: %b@."
+    resume_identical bytes_identical;
+  let oc = open_out !soak_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"soak\",\n\
+    \  \"runs\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"seconds\": %.3f,\n\
+    \  \"runs_per_sec\": %.2f,\n\
+    \  \"minor_words_per_run\": %.0f,\n\
+    \  \"live_words_small\": %d,\n\
+    \  \"live_words_soak\": %d,\n\
+    \  \"top_heap_words_small\": %d,\n\
+    \  \"top_heap_words_soak\": %d,\n\
+    \  \"max_heap_growth_pct\": %.3f,\n\
+    \  \"max_heap_growth_ceiling_pct\": %.2f,\n\
+    \  \"resume_identical\": %b,\n\
+    \  \"checkpoint_bytes_identical\": %b\n\
+     }\n"
+    n big.Inject.Campaign.jobs big.Inject.Campaign.wall_seconds rps
+    words_per_run live_small live_big heap_small heap_big growth_pct
+    !max_heap_growth resume_identical bytes_identical;
+  close_out oc;
+  Format.printf "wrote %s@." !soak_out;
+  if growth_pct > !max_heap_growth then begin
+    Format.printf
+      "FAIL: live heap grew %.2f%% from 10^3 to %d runs (ceiling %.1f%%)@."
+      growth_pct n !max_heap_growth;
+    exit 1
+  end;
+  if not (resume_identical && bytes_identical) then begin
+    Format.printf "FAIL: kill -> resume did not reproduce the aggregate@.";
+    exit 1
+  end
+
 let () =
   Arg.parse
     [
@@ -1209,6 +1393,16 @@ let () =
       ( "--max-obs-overhead",
         Arg.Set_float max_obs_overhead,
         " fail obs_overhead if postmortems cost more than this % runs/s" );
+      ( "--soak-out",
+        Arg.Set_string soak_out,
+        " output path for the soak campaign JSON record" );
+      ( "--soak-runs",
+        Arg.Set_int soak_runs,
+        " soak campaign size (default 100000; floor 1000)" );
+      ( "--max-heap-growth",
+        Arg.Set_float max_heap_growth,
+        " fail the soak if top-heap words grow more than this % from the \
+         1000-run campaign" );
     ]
     (fun s -> sections := s :: !sections)
     "bench/main.exe [--full] [--jobs N] [sections...]";
@@ -1230,4 +1424,5 @@ let () =
   if section "alloc" then alloc ();
   if section "snapshot" then snapshot_bench ();
   if section "obs_overhead" then obs_overhead ();
+  if section "soak" then soak ();
   Format.printf "@.done.@."

@@ -4,7 +4,7 @@
 (* [jobs = 0] means "auto": one worker per recommended domain. *)
 let resolve_jobs jobs = if jobs > 0 then jobs else Inject.Pool.default_jobs ()
 
-let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~fanout ~label =
+let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~chunk ~fanout ~label =
   let mechanism, enh, hv_config =
     match mech with
     | `Nilihype ->
@@ -28,9 +28,17 @@ let run_campaign ~mech ~fault ~setup ~n ~seed ~jobs ~fanout ~label =
     }
   in
   let result =
-    Inject.Campaign.run ~label ~base_seed:seed ~jobs ~fanout
-      ~postmortems:(Obs_cli.postmortems_on ()) ~n cfg
+    Inject.Campaign.run ~label ~base_seed:seed ~jobs ?chunk ~fanout
+      ~postmortems:(Obs_cli.postmortems_on ())
+      ?checkpoint:(Obs_cli.checkpoint ())
+      ?triage_seed_cap:(Obs_cli.triage_seed_cap ()) ~n cfg
   in
+  (match Obs_cli.checkpoint () with
+  | Some ck ->
+    Format.printf "checkpoint: %s (%d runs aggregated)@."
+      ck.Inject.Campaign.ck_path
+      result.Inject.Campaign.totals.Inject.Campaign.runs
+  | None -> ());
   Format.printf "%a" Inject.Campaign.pp result;
   (match Inject.Campaign.mean_latency result with
   | Some l -> Format.printf "mean recovery latency: %a@." Sim.Time.pp_float l
@@ -74,6 +82,7 @@ let () =
   let n = ref 200 in
   let seed = ref 10_000 in
   let jobs = ref 1 in
+  let chunk = ref 0 in
   let fanout = ref 1 in
   let ladder = ref false in
   let spec =
@@ -106,6 +115,10 @@ let () =
       ( "--jobs",
         Arg.Set_int jobs,
         " parallel worker domains (0 = one per core; default 1)" );
+      ( "--chunk",
+        Arg.Set_int chunk,
+        " work items per scheduling chunk (0 = auto; ignored on --resume, \
+         which pins the checkpoint's chunk size)" );
       ( "--fanout",
         Arg.Set_int fanout,
         " fault variants cloned from each prepared snapshot (default 1)" );
@@ -142,7 +155,9 @@ let () =
       Recovery.Enhancement.table1_ladder
   else
     run_campaign ~mech:!mech ~fault:!fault ~setup:!setup ~n:!n
-      ~seed:(Int64.of_int !seed) ~jobs:(resolve_jobs !jobs) ~fanout:!fanout
+      ~seed:(Int64.of_int !seed) ~jobs:(resolve_jobs !jobs)
+      ~chunk:(if !chunk > 0 then Some !chunk else None)
+      ~fanout:!fanout
       ~label:
         (Printf.sprintf "%s/%s"
            (match !mech with

@@ -12,6 +12,7 @@ let () =
   let settle = ref Endure.default_config.Endure.settle_activities in
   let seed = ref 77_000 in
   let jobs = ref 1 in
+  let chunk = ref 0 in
   let budget = ref 8 in
   let json_out = ref "BENCH_endurance.json" in
   let spec =
@@ -38,6 +39,9 @@ let () =
       ( "--jobs",
         Arg.Set_int jobs,
         " parallel worker domains (0 = one per core; default 1)" );
+      ( "--chunk",
+        Arg.Set_int chunk,
+        " scenarios per scheduling chunk (0 = auto; ignored on --resume)" );
       ( "--leak-budget",
         Arg.Set_int budget,
         " max leaked pages per recovery (-1 = unlimited; default 8)" );
@@ -77,9 +81,17 @@ let () =
   let result =
     Endure.run ~label ~base_seed:(Int64.of_int !seed)
       ~jobs:(resolve_jobs !jobs)
+      ?chunk:(if !chunk > 0 then Some !chunk else None)
       ~postmortems:(Obs_cli.postmortems_on ())
+      ?checkpoint:(Obs_cli.checkpoint ())
+      ?triage_seed_cap:(Obs_cli.triage_seed_cap ())
       ~scenarios:!scenarios cfg
   in
+  (match Obs_cli.checkpoint () with
+  | Some ck ->
+    Format.printf "checkpoint: %s (%d scenarios aggregated)@."
+      ck.Inject.Campaign.ck_path result.Endure.totals.Endure.scenarios
+  | None -> ());
   Format.printf "%a" Endure.pp result;
   Format.printf
     "survival curve (cycle: alive%% quiet recovered latent died over_budget \

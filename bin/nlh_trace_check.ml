@@ -10,6 +10,9 @@
      sum to the total, ascending seed sets, and well-formed exemplars.
    - "nlh-postmortem/1" bundles: signature grammar, timeline and
      flight-tail shape, monotone timeline timestamps.
+   - "nlh-checkpoint/1" soak checkpoints: kind/fingerprint identity,
+     ascending done-chunk indices in range, and a payload whose totals
+     satisfy the per-kind accounting identities.
 
    Accepts any number of files; used by the @check alias as the
    export smoke test. *)
@@ -254,6 +257,106 @@ let check_triage path root =
   Printf.printf "%s: OK nlh-triage/1 (%d signatures, %g failures)\n" path
     (List.length sigs) total
 
+(* --- nlh-checkpoint/1 ------------------------------------------------ *)
+
+(* A checkpoint payload carries raw metrics aggregates (no derived
+   quantiles), so the full nlh-obs/1 check does not apply: validate the
+   counters/gauges maps and histogram raw-field invariants only. *)
+let check_payload_metrics path what m =
+  int_assoc path (what ^ ".counters") (get path what "counters" m);
+  int_assoc path (what ^ ".gauges") (get path what "gauges" m);
+  List.iter
+    (fun (name, h) ->
+      let hwhat = Printf.sprintf "%s.histograms[%S]" what name in
+      let bounds = list_of path hwhat (get path hwhat "bounds" h) in
+      let counts =
+        List.map
+          (fun c ->
+            match Obs.Json.to_number c with
+            | Some f when f >= 0.0 -> f
+            | _ -> die "%s: %s: bad bucket count" path hwhat)
+          (list_of path hwhat (get path hwhat "counts" h))
+      in
+      if List.length counts <> List.length bounds + 1 then
+        die "%s: %s: %d counts for %d bounds (want bounds+1)" path hwhat
+          (List.length counts) (List.length bounds);
+      if List.fold_left ( +. ) 0.0 counts <> num path hwhat "samples" h then
+        die "%s: %s: counts do not sum to samples" path hwhat)
+    (obj_members path (what ^ ".histograms") (get path what "histograms" m))
+
+let check_checkpoint path root =
+  let kind = str path "checkpoint" "kind" root in
+  if kind <> "campaign" && kind <> "endurance" then
+    die "%s: checkpoint kind %S is neither campaign nor endurance" path kind;
+  if str path "checkpoint" "fingerprint" root = "" then
+    die "%s: empty fingerprint" path;
+  let chunk = num path "checkpoint" "chunk" root in
+  if chunk < 1.0 then die "%s: chunk %g < 1" path chunk;
+  let n_chunks = num path "checkpoint" "n_chunks" root in
+  let last = ref (-1.0) in
+  let dones =
+    list_of path "done" (get path "checkpoint" "done" root)
+  in
+  List.iter
+    (fun v ->
+      match Obs.Json.to_number v with
+      | Some i ->
+        if i < 0.0 || i >= n_chunks then
+          die "%s: done index %g outside [0, %g)" path i n_chunks;
+        if i <= !last then die "%s: done indices not strictly ascending" path;
+        last := i
+      | None -> die "%s: non-numeric done index" path)
+    dones;
+  let payload = get path "checkpoint" "payload" root in
+  ignore (obj_members path "payload" payload);
+  (if kind = "campaign" then begin
+     let fanout = num path "payload" "fanout" payload in
+     if fanout < 1.0 then die "%s: payload fanout %g < 1" path fanout;
+     let t = get path "payload" "totals" payload in
+     let f k = num path "totals" k t in
+     List.iter
+       (fun k -> ignore (f k))
+       [
+         "runs"; "non_manifested"; "sdc"; "detected"; "successes"; "no_vmf";
+         "recovered"; "latency_sum"; "latency_samples";
+       ];
+     if f "runs" <> f "non_manifested" +. f "sdc" +. f "detected" then
+       die "%s: totals: runs <> non_manifested + sdc + detected" path;
+     int_assoc path "totals.notes" (get path "totals" "notes" t);
+     check_payload_metrics path "totals.metrics" (get path "totals" "metrics" t)
+   end
+   else begin
+     let t = get path "payload" "totals" payload in
+     let f k = num path "totals" k t in
+     List.iter
+       (fun k -> ignore (f k))
+       [
+         "scenarios"; "survived"; "deaths"; "latent_scenarios";
+         "max_leaked_pages"; "budget_violations";
+       ];
+     if f "scenarios" <> f "survived" +. f "deaths" then
+       die "%s: totals: scenarios <> survived + deaths" path;
+     List.iteri
+       (fun i cv ->
+         let what = Printf.sprintf "totals.per_cycle[%d]" i in
+         let fields = list_of path what cv in
+         if List.length fields <> 9 then
+           die "%s: %s: expected 9 ints, got %d" path what
+             (List.length fields);
+         List.iter
+           (fun x ->
+             match Obs.Json.to_number x with
+             | Some f when f >= 0.0 -> ()
+             | _ -> die "%s: %s: bad cycle field" path what)
+           fields)
+       (list_of path "totals.per_cycle" (get path "totals" "per_cycle" t));
+     int_assoc path "totals.leaks" (get path "totals" "leaks" t);
+     int_assoc path "totals.death_notes" (get path "totals" "death_notes" t);
+     check_payload_metrics path "totals.metrics" (get path "totals" "metrics" t)
+   end);
+  Printf.printf "%s: OK nlh-checkpoint/1 (%s, %d/%g chunks done)\n" path kind
+    (List.length dones) n_chunks
+
 (* --- Dispatch -------------------------------------------------------- *)
 
 let check_file path =
@@ -270,6 +373,7 @@ let check_file path =
     | Some "nlh-obs/1" -> check_metrics path root
     | Some "nlh-triage/1" -> check_triage path root
     | Some "nlh-postmortem/1" -> check_postmortem path root
+    | Some "nlh-checkpoint/1" -> check_checkpoint path root
     | Some s -> die "%s: unknown schema %S" path s
     | None -> die "%s: neither a Chrome trace nor a schema document" path)
 

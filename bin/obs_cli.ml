@@ -1,14 +1,41 @@
 (* Shared observability CLI plumbing for the nlh_* tools:
-   --trace FILE / --trace-level LEVEL / --metrics FILE. *)
+   --trace FILE / --trace-level LEVEL / --metrics FILE, plus the
+   checkpoint/resume flags shared by nlh_campaign and nlh_endurance. *)
 
 let trace_file = ref ""
 let trace_level = ref "info"
 let metrics_file = ref ""
 let triage_file = ref ""
 let postmortem_dir = ref ""
+let checkpoint_file = ref ""
+let checkpoint_every = ref 16
+let resume = ref false
+let stop_after_chunks = ref 0
+let triage_seeds = ref 0
 
 (* Postmortem capture is on when either output is requested. *)
 let postmortems_on () = !triage_file <> "" || !postmortem_dir <> ""
+
+(* The checkpoint config assembled from the flags; [None] unless
+   --checkpoint was given. *)
+let checkpoint () : Inject.Campaign.checkpoint option =
+  if !checkpoint_file = "" then begin
+    if !resume then
+      raise (Arg.Bad "--resume requires --checkpoint FILE");
+    None
+  end
+  else
+    Some
+      {
+        Inject.Campaign.ck_path = !checkpoint_file;
+        ck_every = max 1 !checkpoint_every;
+        ck_resume = !resume;
+        ck_stop_after =
+          (if !stop_after_chunks > 0 then Some !stop_after_chunks else None);
+      }
+
+let triage_seed_cap () =
+  if !triage_seeds > 0 then Some !triage_seeds else None
 
 let arg_specs =
   [
@@ -31,6 +58,26 @@ let arg_specs =
       Arg.Set_string postmortem_dir,
       "DIR write one exemplar postmortem bundle per failure signature \
        (nlh-postmortem/1 schema)" );
+    ( "--checkpoint",
+      Arg.Set_string checkpoint_file,
+      "FILE stream partial aggregates to FILE (nlh-checkpoint/1 schema, \
+       atomic rewrite) so the campaign can be resumed after a kill" );
+    ( "--checkpoint-every",
+      Arg.Set_int checkpoint_every,
+      "N rewrite the checkpoint every N completed chunks (default 16)" );
+    ( "--resume",
+      Arg.Set resume,
+      " resume from --checkpoint FILE: skip completed chunks and merge \
+       into the saved aggregate (chunk size and fanout are pinned by the \
+       file; --jobs may differ freely)" );
+    ( "--stop-after-chunks",
+      Arg.Set_int stop_after_chunks,
+      "N stop claiming work after N chunks have been published (testing \
+       aid: simulates a mid-campaign kill with a consistent checkpoint)" );
+    ( "--triage-seeds",
+      Arg.Set_int triage_seeds,
+      "K keep at most K smallest failing seeds per triage signature \
+       (default 8)" );
   ]
 
 let level () =

@@ -23,7 +23,7 @@ type totals = {
          the campaign ran with [postmortems] *)
 }
 
-let make_totals () =
+let make_totals ?triage_seed_cap () =
   {
     runs = 0;
     non_manifested = 0;
@@ -36,7 +36,7 @@ let make_totals () =
     latency_samples = 0;
     notes = Sim.Stats.Counts.create ();
     metrics = Obs.Metrics.empty_snapshot;
-    triage = Obs.Postmortem.Triage.create ();
+    triage = Obs.Postmortem.Triage.create ?seed_cap:triage_seed_cap ();
   }
 
 let note t key = Sim.Stats.Counts.add t.notes key
@@ -150,9 +150,11 @@ let runs_per_sec r =
 
 (* Per-worker accumulator: the totals plus the worker's long-lived
    machine (booted lazily in the worker's own domain and reset in place
-   between runs) and that domain's allocation accounting. *)
+   between runs) and that domain's allocation accounting. [acc_totals]
+   is mutable because the checkpointed path swaps in a fresh totals per
+   chunk (the old one is published to the coordinator). *)
 type acc = {
-  acc_totals : totals;
+  mutable acc_totals : totals;
   mutable acc_worker : Run.worker option;
   acc_minor_start : float;
   mutable acc_minor_words : float; (* set by the in-domain finish hook *)
@@ -160,6 +162,174 @@ type acc = {
       (* golden post-boot resource ledger, the baseline for a bundle's
          ledger diff; captured once per worker when postmortems are on *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Pre-booted machine pools                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A machine pool pre-boots one {!Run.worker} per worker slot before the
+   run loop starts, so the hot loop never pays a boot -- and on a large
+   [--jobs] host the boots happen up front instead of staggered inside
+   the measurement window. The recorder shape is baked in at preparation
+   time, so a pool prepared with [alloc_profile]/[postmortems] can only
+   serve a campaign run with the same settings ({!run} checks). *)
+type pool = {
+  p_workers : Run.worker array;
+  p_ledgers : Hyper.Ledger.t option array;
+  p_alloc_profile : bool;
+  p_postmortems : bool;
+}
+
+let make_worker_recorder ~alloc_profile ~postmortems () =
+  (* A tiny per-worker recorder: the campaign keeps only the metrics,
+     so the event ring is minimal; metrics collection is unconditional.
+     Reset between runs by [execute_into]. With postmortems on, the
+     ring grows to hold one run's Warn+ events (injections, detections,
+     audits): the raw material a bundle's causal timeline is cut from.
+     Same shape on every worker, so bundles stay jobs-invariant. *)
+  let recorder =
+    if postmortems then
+      Obs.Recorder.create ~capacity:256 ~min_level:Obs.Event.Warn ()
+    else Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
+  in
+  Obs.Recorder.set_alloc_profiling recorder alloc_profile;
+  recorder
+
+let pool_size p = Array.length p.p_workers
+
+let prepare_pool ?(alloc_profile = false) ?(postmortems = false) ~jobs
+    (cfg : Run.config) =
+  if jobs < 1 then invalid_arg "Campaign.prepare_pool: jobs must be >= 1";
+  (* Boot is seed-independent, so booting every machine from the main
+     domain (before any worker exists) changes nothing about results. *)
+  let workers =
+    Array.init jobs (fun _ ->
+        let recorder = make_worker_recorder ~alloc_profile ~postmortems () in
+        Run.prepare ~recorder cfg)
+  in
+  let ledgers =
+    Array.map
+      (fun w ->
+        if postmortems then Some (Hyper.Ledger.capture w.Run.w_hv) else None)
+      workers
+  in
+  {
+    p_workers = workers;
+    p_ledgers = ledgers;
+    p_alloc_profile = alloc_profile;
+    p_postmortems = postmortems;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Checkpointing a campaign: the work range is cut into fixed chunks
+   (see {!Pool.map_chunks}); each completed chunk's totals are merged
+   into a coordinator-side aggregate, and every [ck_every] publishes the
+   aggregate plus the completed-chunk bitmap are written atomically to
+   [ck_path] as an nlh-checkpoint/1 file. Because chunk boundaries are
+   fixed by (n, fanout, chunk) -- never by [jobs] -- and the totals
+   merge is commutative, a resumed campaign reproduces the exact
+   aggregate of an uninterrupted one, whatever [--jobs] it resumes
+   with. [ck_stop_after] stops claiming new chunks after that many have
+   been published: the test harness's simulated kill. *)
+type checkpoint = {
+  ck_path : string;
+  ck_every : int; (* write the file every this many published chunks *)
+  ck_resume : bool; (* load [ck_path] and skip completed chunks *)
+  ck_stop_after : int option;
+}
+
+(* Config/seed identity for resume validation. Excludes [fanout] and
+   [chunk] on purpose: those are pinned *by* the checkpoint file, so a
+   resume with different flags silently inherits the original values
+   rather than corrupting chunk identity. *)
+let fingerprint ~base_seed ~n (cfg : Run.config) =
+  Printf.sprintf "campaign;mech=%s;fault=%s;setup=%s;base_seed=%Ld;n=%d"
+    (Postmortem.mech_cli cfg.Run.mech)
+    (Postmortem.fault_cli cfg.Run.fault)
+    (Postmortem.setup_cli cfg.Run.setup)
+    base_seed n
+
+(* The checkpoint payload is the merged aggregate minus triage (the
+   checkpointed path refuses [postmortems]; exemplar bundles are far too
+   heavy to rewrite on every chunk). All fields are ints, notes are
+   key-sorted and metrics name-sorted, so serialization is canonical:
+   equal aggregates produce byte-identical payloads. *)
+let payload_of_totals ~fanout (t : totals) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"fanout\":%d,\"totals\":{\"runs\":%d,\"non_manifested\":%d,\
+        \"sdc\":%d,\"detected\":%d,\"successes\":%d,\"no_vmf\":%d,\
+        \"recovered\":%d,\"latency_sum\":%d,\"latency_samples\":%d,\
+        \"notes\":"
+       fanout t.runs t.non_manifested t.sdc t.detected t.successes t.no_vmf
+       t.recovered t.latency_sum t.latency_samples);
+  Obs.Export.add_int_assoc buf (failure_notes t);
+  Buffer.add_string buf ",\"metrics\":";
+  Obs.Checkpoint.add_metrics buf t.metrics;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+(* Parse a payload back into [(fanout, totals)]. Exposed (along with
+   [payload_of_totals]) for the round-trip tests. *)
+let totals_of_payload ?triage_seed_cap (payload : Obs.Json.t) =
+  let int k v =
+    match Obs.Json.(to_number (Option.value ~default:Null (member k v))) with
+    | Some f when Float.is_integer f -> Ok (int_of_float f)
+    | Some _ | None -> Error (Printf.sprintf "payload: %S is not an integer" k)
+  in
+  let ( let* ) = Result.bind in
+  let* fanout = int "fanout" payload in
+  match Obs.Json.member "totals" payload with
+  | None -> Error "payload: missing \"totals\""
+  | Some tv ->
+    let* runs = int "runs" tv in
+    let* non_manifested = int "non_manifested" tv in
+    let* sdc = int "sdc" tv in
+    let* detected = int "detected" tv in
+    let* successes = int "successes" tv in
+    let* no_vmf = int "no_vmf" tv in
+    let* recovered = int "recovered" tv in
+    let* latency_sum = int "latency_sum" tv in
+    let* latency_samples = int "latency_samples" tv in
+    let* notes =
+      match Obs.Json.member "notes" tv with
+      | Some (Obs.Json.Obj fields) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match Obs.Json.to_number v with
+            | Some f when Float.is_integer f -> Ok ((k, int_of_float f) :: acc)
+            | Some _ | None ->
+              Error (Printf.sprintf "payload: note %S is not an integer" k))
+          (Ok []) fields
+      | _ -> Error "payload: \"notes\" is not an object"
+    in
+    let* metrics =
+      match Obs.Json.member "metrics" tv with
+      | Some m -> Obs.Checkpoint.metrics_of_json m
+      | None -> Error "payload: missing \"metrics\""
+    in
+    if runs <> non_manifested + sdc + detected then
+      Error "payload: runs <> non_manifested + sdc + detected"
+    else begin
+      let t = make_totals ?triage_seed_cap () in
+      t.runs <- runs;
+      t.non_manifested <- non_manifested;
+      t.sdc <- sdc;
+      t.detected <- detected;
+      t.successes <- successes;
+      t.no_vmf <- no_vmf;
+      t.recovered <- recovered;
+      t.latency_sum <- latency_sum;
+      t.latency_samples <- latency_samples;
+      List.iter (fun (k, v) -> Sim.Stats.Counts.add ~by:v t.notes k) notes;
+      t.metrics <- metrics;
+      Ok (fanout, t)
+    end
 
 (* Run [n] injections of [cfg], varying only the seed. [jobs > 1]
    distributes the seed range over that many domains through
@@ -191,35 +361,78 @@ type acc = {
    aggregate stays bit-identical for every [jobs] value. *)
 let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
     ?(oversubscribe = false) ?(alloc_profile = false) ?(fanout = 1)
-    ?(postmortems = false) ~n (cfg : Run.config) =
+    ?(postmortems = false) ?pool ?(checkpoint : checkpoint option)
+    ?triage_seed_cap ~n (cfg : Run.config) =
   if fanout < 1 then invalid_arg "Campaign.run: fanout must be >= 1";
+  (match pool with
+  | Some p
+    when p.p_alloc_profile <> alloc_profile
+         || p.p_postmortems <> postmortems ->
+    invalid_arg
+      "Campaign.run: pool was prepared with different \
+       alloc_profile/postmortems settings"
+  | _ -> ());
+  (match checkpoint with
+  | Some _ when postmortems ->
+    (* Exemplar bundles are far too heavy to rewrite every few chunks;
+       soaks wanting triage can run the final aggregation un-checkpointed. *)
+    invalid_arg "Campaign.run: checkpointing does not support postmortems"
+  | _ -> ());
+  let jobs = match pool with Some p -> min jobs (pool_size p) | None -> jobs in
+  let fp = fingerprint ~base_seed ~n cfg in
+  (* Resolve resume state first: the checkpoint file pins [chunk] and
+     [fanout], and [fanout] shapes the work items below. *)
+  let resumed =
+    match checkpoint with
+    | Some ck when ck.ck_resume -> (
+      match Obs.Checkpoint.read ck.ck_path with
+      | Error msg ->
+        invalid_arg
+          (Printf.sprintf "Campaign.run: cannot resume from %s: %s" ck.ck_path
+             msg)
+      | Ok (h, payload) ->
+        if h.Obs.Checkpoint.kind <> "campaign" then
+          invalid_arg
+            (Printf.sprintf "Campaign.run: checkpoint kind %S is not a campaign"
+               h.Obs.Checkpoint.kind);
+        if h.Obs.Checkpoint.fingerprint <> fp then
+          invalid_arg
+            (Printf.sprintf
+               "Campaign.run: checkpoint fingerprint mismatch\n  file: %s\n  \
+                run:  %s"
+               h.Obs.Checkpoint.fingerprint fp);
+        (match totals_of_payload ?triage_seed_cap payload with
+        | Error msg ->
+          invalid_arg
+            (Printf.sprintf "Campaign.run: cannot resume from %s: %s"
+               ck.ck_path msg)
+        | Ok (ck_fanout, merged) -> Some (h, ck_fanout, merged)))
+    | _ -> None
+  in
+  let fanout =
+    match resumed with Some (_, ck_fanout, _) -> ck_fanout | None -> fanout
+  in
   let t0 = Unix.gettimeofday () in
-  let init () =
+  let init slot =
+    let worker, ledger =
+      match pool with
+      | Some p when slot < pool_size p ->
+        (Some p.p_workers.(slot), p.p_ledgers.(slot))
+      | _ -> (None, None)
+    in
     {
-      acc_totals = make_totals ();
-      acc_worker = None;
+      acc_totals = make_totals ?triage_seed_cap ();
+      acc_worker = worker;
       acc_minor_start = Gc.minor_words ();
       acc_minor_words = 0.0;
-      acc_pm_ledger = None;
+      acc_pm_ledger = ledger;
     }
   in
   let worker_of acc (cfg : Run.config) =
     match acc.acc_worker with
     | Some w -> w
     | None ->
-      (* A tiny per-worker recorder: the campaign keeps only the
-         metrics, so the event ring is minimal; metrics collection is
-         unconditional. Reset between runs by [execute_into]. With
-         postmortems on, the ring grows to hold one run's Warn+ events
-         (injections, detections, audits): the raw material a bundle's
-         causal timeline is cut from. Same shape on every worker, so
-         bundles stay jobs-invariant. *)
-      let recorder =
-        if postmortems then
-          Obs.Recorder.create ~capacity:256 ~min_level:Obs.Event.Warn ()
-        else Obs.Recorder.create ~capacity:1 ~min_level:Obs.Event.Error ()
-      in
-      Obs.Recorder.set_alloc_profiling recorder alloc_profile;
+      let recorder = make_worker_recorder ~alloc_profile ~postmortems () in
       let w = Run.prepare ~recorder cfg in
       (* Boot is seed-independent, so this baseline is identical on
          every worker (bundle determinism relies on that). *)
@@ -296,32 +509,125 @@ let run ?(label = "") ?(base_seed = 10_000L) ?(jobs = 1) ?chunk
     if fanout > 1 then (((n + fanout - 1) / fanout), run_batch)
     else (n, run_one)
   in
-  let acc =
-    Pool.map_reduce ~jobs ?chunk ~oversubscribe ~n:pool_n ~init ~body
+  match checkpoint with
+  | None ->
+    let acc =
+      Pool.map_reduce ~jobs ?chunk ~oversubscribe ~n:pool_n ~init ~body
+        ~finish:(fun acc ->
+          (* [Gc.minor_words] is per-domain in OCaml 5, so the delta must
+             be taken here, in the worker's own domain. *)
+          acc.acc_minor_words <- Gc.minor_words () -. acc.acc_minor_start)
+        ~merge:(fun a b ->
+          merge_into a.acc_totals b.acc_totals;
+          a.acc_minor_words <- a.acc_minor_words +. b.acc_minor_words;
+          a)
+        ()
+    in
+    let used_jobs =
+      (* Mirror the pool's clamps so the report shows the worker count
+         that actually ran: bounded by the work-item count and, unless
+         oversubscribing, by the core count. *)
+      let j = max 1 (min jobs (max 1 pool_n)) in
+      if oversubscribe then j else min j (Pool.default_jobs ())
+    in
+    {
+      config_label = label;
+      totals = acc.acc_totals;
+      jobs = used_jobs;
+      wall_seconds = Unix.gettimeofday () -. t0;
+      minor_words = acc.acc_minor_words;
+    }
+  | Some ck ->
+    (* Streaming, checkpointed path: workers run one fixed chunk at a
+       time, publish the chunk's totals to the coordinator, and start
+       the next chunk with a fresh bounded accumulator -- memory never
+       scales with [n]. The coordinator owns the only growing state:
+       one merged totals plus the done bitmap. *)
+    let chunk_size, merged, done_chunks =
+      match resumed with
+      | Some (h, _, merged) ->
+        (h.Obs.Checkpoint.chunk, merged, h.Obs.Checkpoint.done_chunks)
+      | None ->
+        let c =
+          match chunk with
+          | Some c -> max 1 c
+          | None -> Pool.default_chunk ~n:pool_n ~jobs:(max 1 jobs)
+        in
+        let n_chunks = if pool_n <= 0 then 0 else (pool_n + c - 1) / c in
+        (c, make_totals ?triage_seed_cap (), Array.make n_chunks false)
+    in
+    let n_chunks = Array.length done_chunks in
+    (match resumed with
+    | Some (h, _, _) ->
+      (* The file's geometry must reproduce from (n, fanout, chunk):
+         a checkpoint written for a different range would mis-map chunk
+         indices to seed ranges. *)
+      if
+        h.Obs.Checkpoint.n_chunks
+        <> (if pool_n <= 0 then 0 else (pool_n + chunk_size - 1) / chunk_size)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Campaign.run: checkpoint has %d chunks but n=%d fanout=%d \
+              chunk=%d implies %d"
+             h.Obs.Checkpoint.n_chunks n fanout chunk_size
+             ((pool_n + chunk_size - 1) / chunk_size))
+    | None -> ());
+    let published = ref 0 in
+    let minor_total = ref 0.0 in
+    let write_ck () =
+      Obs.Checkpoint.write ~path:ck.ck_path
+        {
+          Obs.Checkpoint.kind = "campaign";
+          fingerprint = fp;
+          chunk = chunk_size;
+          n_chunks;
+          done_chunks;
+        }
+        ~payload:(payload_of_totals ~fanout merged)
+    in
+    (* Runs under [map_chunks]' mutex, like [finish] below. *)
+    let publish c t =
+      merge_into merged t;
+      done_chunks.(c) <- true;
+      incr published;
+      if ck.ck_every > 0 && !published mod ck.ck_every = 0 then write_ck ()
+    in
+    let should_stop () =
+      match ck.ck_stop_after with
+      | Some m -> !published >= m
+      | None -> false
+    in
+    Pool.map_chunks ~jobs ~oversubscribe ~should_stop ~n_chunks
+      ~skip:(fun c -> done_chunks.(c))
+      ~init
+      ~body:(fun acc c ->
+        acc.acc_totals <- make_totals ?triage_seed_cap ();
+        let lo = c * chunk_size in
+        let hi = min pool_n (lo + chunk_size) in
+        for i = lo to hi - 1 do
+          body acc i
+        done;
+        acc.acc_totals)
+      ~publish
       ~finish:(fun acc ->
-        (* [Gc.minor_words] is per-domain in OCaml 5, so the delta must be
-           taken here, in the worker's own domain. *)
-        acc.acc_minor_words <- Gc.minor_words () -. acc.acc_minor_start)
-      ~merge:(fun a b ->
-        merge_into a.acc_totals b.acc_totals;
-        a.acc_minor_words <- a.acc_minor_words +. b.acc_minor_words;
-        a)
-      ()
-  in
-  let used_jobs =
-    (* Mirror the pool's clamps so the report shows the worker count
-       that actually ran: bounded by the work-item count and, unless
-       oversubscribing, by the core count. *)
-    let j = max 1 (min jobs (max 1 pool_n)) in
-    if oversubscribe then j else min j (Pool.default_jobs ())
-  in
-  {
-    config_label = label;
-    totals = acc.acc_totals;
-    jobs = used_jobs;
-    wall_seconds = Unix.gettimeofday () -. t0;
-    minor_words = acc.acc_minor_words;
-  }
+        acc.acc_minor_words <- Gc.minor_words () -. acc.acc_minor_start;
+        minor_total := !minor_total +. acc.acc_minor_words)
+      ();
+    (* Always leave a final consistent file, even when [ck_every] did
+       not divide the published count (or nothing ran at all). *)
+    write_ck ();
+    let used_jobs =
+      let j = max 1 (min jobs (max 1 n_chunks)) in
+      if oversubscribe then j else min j (Pool.default_jobs ())
+    in
+    {
+      config_label = label;
+      totals = merged;
+      jobs = used_jobs;
+      wall_seconds = Unix.gettimeofday () -. t0;
+      minor_words = !minor_total;
+    }
 
 let success_rate r =
   Sim.Stats.proportion ~successes:r.totals.successes ~trials:(max 1 r.totals.detected)

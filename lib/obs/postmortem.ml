@@ -202,15 +202,22 @@ module Triage = struct
     e_exemplar : (int64 * t) option; (* bundle captured at smallest seed *)
   }
 
-  type table = { tbl : (string, entry) Hashtbl.t }
+  type table = {
+    tbl : (string, entry) Hashtbl.t;
+    cap : int; (* max retained seeds per signature *)
+  }
 
-  let create () = { tbl = Hashtbl.create 16 }
+  let default_seed_cap = seed_cap
+
+  let create ?(seed_cap = default_seed_cap) () =
+    { tbl = Hashtbl.create 16; cap = max 1 seed_cap }
+
   let mem tr sg = Hashtbl.mem tr.tbl (Signature.key sg)
 
-  (* Bounded ascending insert: keeps the [seed_cap] smallest seeds, so
-     the per-worker sets union-then-truncate to exactly the set a
-     sequential run would keep. *)
-  let merge_seeds a b =
+  (* Bounded ascending insert: keeps the [cap] smallest seeds, so the
+     per-worker sets union-then-truncate to exactly the set a sequential
+     run would keep. *)
+  let merge_seeds ~cap a b =
     let rec union a b =
       match (a, b) with
       | [], l | l, [] -> l
@@ -219,25 +226,27 @@ module Triage = struct
         else if Int64.compare x y > 0 then y :: union a rb
         else x :: union ra rb
     in
-    take seed_cap (union a b)
+    take cap (union a b)
 
   let better_exemplar a b =
     match (a, b) with
     | None, e | e, None -> e
     | Some (sa, _), Some (sb, _) -> if Int64.compare sa sb <= 0 then a else b
 
-  let merge_entry a b =
+  let merge_entry ~cap a b =
     {
       e_signature = a.e_signature;
       e_count = a.e_count + b.e_count;
-      e_seeds = merge_seeds a.e_seeds b.e_seeds;
+      e_seeds = merge_seeds ~cap a.e_seeds b.e_seeds;
       e_exemplar = better_exemplar a.e_exemplar b.e_exemplar;
     }
 
+  (* The destination table's cap is authoritative, so merging a table
+     built with a larger cap still lands within bounds. *)
   let add_entry tr key e =
     match Hashtbl.find_opt tr.tbl key with
-    | None -> Hashtbl.add tr.tbl key e
-    | Some prev -> Hashtbl.replace tr.tbl key (merge_entry prev e)
+    | None -> Hashtbl.add tr.tbl key { e with e_seeds = take tr.cap e.e_seeds }
+    | Some prev -> Hashtbl.replace tr.tbl key (merge_entry ~cap:tr.cap prev e)
 
   let record ?bundle tr sg ~seed =
     add_entry tr (Signature.key sg)

@@ -168,7 +168,7 @@ let test_budget_accounting () =
     { zero with Hyper.Ledger.orphan_frames = 5; stale_frame_refs = 2 }
   in
   let cfg = endure_cfg ~cycles:2 ~budget:(Some 4) () in
-  let t = Endure.make_totals ~cycles:2 in
+  let t = Endure.make_totals ~cycles:2 () in
   Endure.add_scenario t cfg
     (make_scenario [ make_cycle ~index:0 zero; make_cycle ~index:1 leaky ]);
   checki "one budget violation (7 > 4)" 1 t.Endure.budget_violations;
@@ -176,7 +176,7 @@ let test_budget_accounting () =
   let leaks = Sim.Stats.Counts.sorted t.Endure.leaks in
   checki "orphan frames attributed" 5 (List.assoc "orphan_frames" leaks);
   checki "stale refs attributed" 2 (List.assoc "stale_frame_refs" leaks);
-  let t' = Endure.make_totals ~cycles:2 in
+  let t' = Endure.make_totals ~cycles:2 () in
   Endure.add_scenario t' (endure_cfg ~cycles:2 ~budget:(Some 7) ())
     (make_scenario [ make_cycle ~index:0 zero; make_cycle ~index:1 leaky ]);
   checki "no violation when within budget" 0 t'.Endure.budget_violations
@@ -197,7 +197,7 @@ let test_merge_commutative () =
       ]
   in
   let build scs =
-    let t = Endure.make_totals ~cycles:2 in
+    let t = Endure.make_totals ~cycles:2 () in
     List.iter (Endure.add_scenario t cfg) scs;
     t
   in

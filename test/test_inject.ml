@@ -549,7 +549,7 @@ let test_fanout_jobs_invariant () =
 
 (* Every index in [0, n) visited exactly once, for adversarial
    n/jobs/chunk combinations: chunk > n, chunk = 1, prime n, tails that
-   do not divide, n = 1, n = 0 and the default (uncapped) chunk. *)
+   do not divide, n = 1, n = 0 and the default chunk. *)
 let test_pool_coverage_exact () =
   let combos =
     [
@@ -569,7 +569,7 @@ let test_pool_coverage_exact () =
     (fun (n, jobs, chunk) ->
       let acc =
         Inject.Pool.map_reduce ~jobs ?chunk ~oversubscribe:true ~n
-          ~init:(fun () -> ref [])
+          ~init:(fun _ -> ref [])
           ~body:(fun acc i -> acc := i :: !acc)
           ~merge:(fun a b ->
             a := !a @ !b;
@@ -586,12 +586,17 @@ let test_pool_coverage_exact () =
         (List.sort compare !acc))
     combos
 
-let test_pool_default_chunk_uncapped () =
-  (* ~4 chunks per worker, never capped: large n gets large chunks. *)
+let test_pool_default_chunk_capped () =
+  (* ~4 chunks per worker for moderate n, capped at [default_chunk_cap]
+     so huge soaks get many checkpoint-sized chunks instead of a few
+     enormous ones. *)
   checki "n=64 jobs=1" 16 (Inject.Pool.default_chunk ~n:64 ~jobs:1);
   checki "n=4000 jobs=4" 250 (Inject.Pool.default_chunk ~n:4000 ~jobs:4);
-  checki "n=100000 jobs=4 uncapped" 6250
+  checki "n=100000 jobs=4 capped" Inject.Pool.default_chunk_cap
     (Inject.Pool.default_chunk ~n:100_000 ~jobs:4);
+  checki "n=1000000 jobs=1 capped" Inject.Pool.default_chunk_cap
+    (Inject.Pool.default_chunk ~n:1_000_000 ~jobs:1);
+  checki "cap value" 4096 Inject.Pool.default_chunk_cap;
   checki "floor of 1" 1 (Inject.Pool.default_chunk ~n:3 ~jobs:8)
 
 (* ------------------------- Overhead --------------------------------- *)
@@ -668,8 +673,8 @@ let () =
           Alcotest.test_case "notes sorted" `Quick test_notes_sorted_regardless_of_order;
           Alcotest.test_case "mean latency in float" `Quick test_mean_latency_not_floored;
           Alcotest.test_case "pool coverage exact" `Quick test_pool_coverage_exact;
-          Alcotest.test_case "default chunk uncapped" `Quick
-            test_pool_default_chunk_uncapped;
+          Alcotest.test_case "default chunk capped" `Quick
+            test_pool_default_chunk_capped;
         ] );
       ( "reuse",
         [

@@ -138,6 +138,56 @@ let test_triage_merge () =
     (Obs.Postmortem.Triage.to_json merged_ab
     = Obs.Postmortem.Triage.to_json merged_ba)
 
+let test_triage_seed_cap () =
+  let sg = Obs.Signature.make ~fault:"f" ~target:"t" ~cause:"c" ~branch:"b" in
+  let entry_of tr =
+    match
+      List.assoc_opt (Obs.Signature.key sg) (Obs.Postmortem.Triage.snapshot tr)
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "signature missing from triage table"
+  in
+  (* A narrow table keeps only the [seed_cap] smallest seeds but still
+     counts every occurrence. *)
+  let tr = Obs.Postmortem.Triage.create ~seed_cap:2 () in
+  List.iter
+    (fun seed -> Obs.Postmortem.Triage.record tr sg ~seed)
+    [ 9L; 3L; 7L; 1L; 5L ];
+  let e = entry_of tr in
+  checki "count keeps every occurrence" 5 e.Obs.Postmortem.Triage.e_count;
+  Alcotest.check
+    (Alcotest.list Alcotest.int64)
+    "only the cap smallest seeds retained" [ 1L; 3L ]
+    e.Obs.Postmortem.Triage.e_seeds;
+  (* Merging a wide table into a narrow one truncates to the
+     destination's cap; the count is unaffected. *)
+  let wide = Obs.Postmortem.Triage.create ~seed_cap:8 () in
+  List.iter
+    (fun seed -> Obs.Postmortem.Triage.record wide sg ~seed)
+    [ 2L; 4L; 6L; 8L ];
+  let narrow = Obs.Postmortem.Triage.create ~seed_cap:2 () in
+  Obs.Postmortem.Triage.merge_into ~into:narrow wide;
+  let e = entry_of narrow in
+  checki "merged count" 4 e.Obs.Postmortem.Triage.e_count;
+  Alcotest.check
+    (Alcotest.list Alcotest.int64)
+    "destination cap authoritative" [ 2L; 4L ]
+    e.Obs.Postmortem.Triage.e_seeds;
+  (* Capped merge stays commutative: either order lands on the same
+     snapshot. *)
+  let m1 = Obs.Postmortem.Triage.create ~seed_cap:3 () in
+  Obs.Postmortem.Triage.merge_into ~into:m1 wide;
+  Obs.Postmortem.Triage.merge_into ~into:m1 tr;
+  let m2 = Obs.Postmortem.Triage.create ~seed_cap:3 () in
+  Obs.Postmortem.Triage.merge_into ~into:m2 tr;
+  Obs.Postmortem.Triage.merge_into ~into:m2 wide;
+  checkb "capped merge commutative" true
+    (Obs.Postmortem.Triage.snapshot m1 = Obs.Postmortem.Triage.snapshot m2);
+  Alcotest.check
+    (Alcotest.list Alcotest.int64)
+    "union then truncate" [ 1L; 2L; 3L ]
+    (entry_of m1).Obs.Postmortem.Triage.e_seeds
+
 (* --------------------- Campaign determinism ------------------------- *)
 
 let dead_cfg =
@@ -279,7 +329,10 @@ let () =
       ( "signature",
         [ Alcotest.test_case "grammar" `Quick test_signature_grammar ] );
       ( "triage",
-        [ Alcotest.test_case "commutative merge" `Quick test_triage_merge ] );
+        [
+          Alcotest.test_case "commutative merge" `Quick test_triage_merge;
+          Alcotest.test_case "bounded seed lists" `Quick test_triage_seed_cap;
+        ] );
       ( "campaign",
         [
           Alcotest.test_case "triage jobs-invariant" `Slow
