@@ -23,6 +23,7 @@ let max_obs_overhead = ref 5.0 (* postmortems-on runs/s deficit ceiling, % *)
 let leak_budget = ref 8 (* max leaked pages per recovery in the smoke *)
 let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
 let max_words_per_run = ref 0.0 (* minor words/run ceiling in scaling; 0 = off *)
+let fuzz_out = ref "BENCH_fuzz.json"
 let soak_out = ref "BENCH_soak.json"
 let soak_runs = ref 100_000
 let max_heap_growth = ref 15.0 (* top-heap growth ceiling 1e3 -> soak, % *)
@@ -34,7 +35,7 @@ let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 let perf_sections =
   [
     "campaign_smoke"; "scaling"; "endurance"; "alloc"; "snapshot";
-    "obs_overhead"; "soak";
+    "obs_overhead"; "fuzz"; "soak";
   ]
 
 let section name =
@@ -1171,6 +1172,139 @@ let obs_overhead () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz: coverage-guided fault-space search vs uniform-grid sampling    *)
+(* at an equal run budget. The grid baseline spends the same N runs     *)
+(* evenly across the four fault kinds with consecutive seeds (the       *)
+(* campaign strategy every prior PR used); the fuzzer spends N mutants  *)
+(* steered by Obs.Coverage novelty. Gates: (a) the fuzzer discovers     *)
+(* strictly more distinct triage signatures than the grid, and (b)      *)
+(* every discovered signature's one-line repro replays to a             *)
+(* byte-identical triage entry (run twice, compared as JSON).           *)
+(* BENCH_fuzz.json.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_bench () =
+  hr "Fuzz: coverage-guided search vs uniform-grid sampling";
+  tune_gc_for_campaigns ();
+  let n = if !full then 1024 else 192 in
+  let base =
+    {
+      Inject.Run.default_config with
+      Inject.Run.setup = Inject.Run.Three_appvm;
+      mech = Inject.Run.Mech (Recovery.Engine.Nilihype, Recovery.Enhancement.full_set);
+      hv_config = Hyper.Config.nilihype;
+    }
+  in
+  (* Grid baseline: N/4 runs per fault kind, consecutive seeds, same
+     mechanism and setup. Signatures = union over the four triages. *)
+  let kinds =
+    [ Inject.Fault.Failstop; Inject.Fault.Register; Inject.Fault.Code;
+      Inject.Fault.Data ]
+  in
+  let per_kind = n / List.length kinds in
+  let grid_t0 = Unix.gettimeofday () in
+  let grid_sigs =
+    List.concat_map
+      (fun fault ->
+        let r =
+          Inject.Campaign.run
+            ~label:(Printf.sprintf "grid %s" (Inject.Fault.name fault))
+            ~base_seed:9_000L ~jobs:(resolve_jobs ()) ~oversubscribe:(!jobs = 0)
+            ~postmortems:true ~n:per_kind
+            { base with Inject.Run.fault }
+        in
+        List.map fst
+          (Obs.Postmortem.Triage.snapshot
+             r.Inject.Campaign.totals.Inject.Campaign.triage))
+      kinds
+    |> List.sort_uniq String.compare
+  in
+  let grid_secs = Unix.gettimeofday () -. grid_t0 in
+  (* Fuzzer: same budget, same base seed, same mechanism. *)
+  let fcfg =
+    {
+      (Fuzz.Session.default_config ~base_seed:9_000L) with
+      Fuzz.Session.f_base = base;
+      f_runs = per_kind * List.length kinds;
+      f_batch = max 8 (n / 8);
+      f_jobs = resolve_jobs ();
+      f_oversubscribe = !jobs = 0;
+    }
+  in
+  let fuzz_t0 = Unix.gettimeofday () in
+  let t = Fuzz.Session.explore fcfg in
+  let fuzz_secs = Unix.gettimeofday () -. fuzz_t0 in
+  let fuzz_sigs = Fuzz.Corpus.signatures t.Fuzz.Session.s_corpus in
+  Format.printf
+    "grid: %d runs -> %d signatures (%.1fs)   fuzz: %d runs -> %d signatures \
+     (%.1fs), %d coverage points, %d corpus entries@."
+    (per_kind * List.length kinds)
+    (List.length grid_sigs) grid_secs t.Fuzz.Session.s_evaluated
+    (List.length fuzz_sigs) fuzz_secs
+    (Fuzz.Corpus.n_points t.Fuzz.Session.s_corpus)
+    (List.length (Fuzz.Corpus.entries t.Fuzz.Session.s_corpus));
+  (* Repro fidelity: every discovered signature's exemplar must replay
+     -- twice -- to the byte-identical triage entry recorded for it. *)
+  let entry_json (r : Fuzz.Session.replay_result) =
+    let tr = Obs.Postmortem.Triage.create () in
+    (match Obs.Signature.of_key r.Fuzz.Session.r_signature with
+    | Some sg ->
+      Obs.Postmortem.Triage.record ?bundle:r.Fuzz.Session.r_bundle tr sg
+        ~seed:r.Fuzz.Session.r_point.Fuzz.Input.p_seed
+    | None -> ());
+    Obs.Postmortem.Triage.to_json tr
+  in
+  let exemplars = Fuzz.Session.exemplars t in
+  List.iter
+    (fun (sigkey, (e : Fuzz.Corpus.entry)) ->
+      let a = Fuzz.Session.replay fcfg e.Fuzz.Corpus.en_trace in
+      let b = Fuzz.Session.replay fcfg e.Fuzz.Corpus.en_trace in
+      if a.Fuzz.Session.r_signature <> sigkey then
+        failwith
+          (Printf.sprintf "fuzz: repro of %s replayed to %s" sigkey
+             a.Fuzz.Session.r_signature);
+      if a.Fuzz.Session.r_outcome <> e.Fuzz.Corpus.en_outcome then
+        failwith (Printf.sprintf "fuzz: repro of %s changed outcome" sigkey);
+      if entry_json a <> entry_json b then
+        failwith
+          (Printf.sprintf "fuzz: repro of %s is not byte-stable" sigkey))
+    exemplars;
+  Format.printf "repro fidelity: %d signature(s) replayed byte-identically@."
+    (List.length exemplars);
+  let coverage_wins = List.length fuzz_sigs > List.length grid_sigs in
+  let oc = open_out !fuzz_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"fuzz\",\n\
+    \  \"runs\": %d,\n\
+    \  \"grid_signatures\": %d,\n\
+    \  \"grid_secs\": %.2f,\n\
+    \  \"fuzz_signatures\": %d,\n\
+    \  \"fuzz_secs\": %.2f,\n\
+    \  \"coverage_points\": %d,\n\
+    \  \"corpus_entries\": %d,\n\
+    \  \"replayed_signatures\": %d,\n\
+    \  \"coverage_beats_grid\": %b\n\
+     }\n"
+    (per_kind * List.length kinds)
+    (List.length grid_sigs) grid_secs (List.length fuzz_sigs) fuzz_secs
+    (Fuzz.Corpus.n_points t.Fuzz.Session.s_corpus)
+    (List.length (Fuzz.Corpus.entries t.Fuzz.Session.s_corpus))
+    (List.length exemplars) coverage_wins;
+  close_out oc;
+  Format.printf "wrote %s@." !fuzz_out;
+  if not coverage_wins then begin
+    Format.printf
+      "FAIL: fuzzer found %d signature(s), grid found %d at the same budget@."
+      (List.length fuzz_sigs) (List.length grid_sigs);
+    exit 1
+  end;
+  if exemplars = [] then begin
+    Format.printf "FAIL: fuzzer discovered no signatures to replay@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Soak: million-run-scale streaming campaigns. Gates (a) constant      *)
 (* memory -- top-heap growth from a 10^3-run campaign to the 10^5+ soak *)
 (* must stay under --max-heap-growth -- and (b) kill -> resume          *)
@@ -1393,6 +1527,9 @@ let () =
       ( "--max-obs-overhead",
         Arg.Set_float max_obs_overhead,
         " fail obs_overhead if postmortems cost more than this % runs/s" );
+      ( "--fuzz-out",
+        Arg.Set_string fuzz_out,
+        " output path for the fuzz coverage-vs-grid JSON record" );
       ( "--soak-out",
         Arg.Set_string soak_out,
         " output path for the soak campaign JSON record" );
@@ -1424,5 +1561,6 @@ let () =
   if section "alloc" then alloc ();
   if section "snapshot" then snapshot_bench ();
   if section "obs_overhead" then obs_overhead ();
+  if section "fuzz" then fuzz_bench ();
   if section "soak" then soak ();
   Format.printf "@.done.@."

@@ -24,10 +24,11 @@ let () =
         " recovery mechanism" );
       ( "--fault",
         Arg.Symbol
-          ( [ "failstop"; "register"; "code" ],
+          ( [ "failstop"; "register"; "code"; "data" ],
             function
             | "failstop" -> fault := Inject.Fault.Failstop
             | "register" -> fault := Inject.Fault.Register
+            | "data" -> fault := Inject.Fault.Data
             | _ -> fault := Inject.Fault.Code ),
         " fault type" );
       ("--cycles", Arg.Set_int cycles, " recovery cycles per scenario");

@@ -357,6 +357,99 @@ let check_checkpoint path root =
   Printf.printf "%s: OK nlh-checkpoint/1 (%s, %d/%g chunks done)\n" path kind
     (List.length dones) n_chunks
 
+(* --- nlh-fuzz/1 ------------------------------------------------------ *)
+
+(* A fuzz corpus/state file: the checkpoint envelope under the fuzz
+   schema tag (kind "fuzz", done-rounds a prefix), with a payload
+   holding the session identity (base_seed/rng as exact int64 strings),
+   the accounting identity evaluated = kept + duds, the canonically
+   sorted corpus entries and the sorted coverage map into them. *)
+let check_fuzz path root =
+  let kind = str path "fuzz" "kind" root in
+  if kind <> "fuzz" then die "%s: fuzz checkpoint kind %S" path kind;
+  if str path "fuzz" "fingerprint" root = "" then
+    die "%s: empty fingerprint" path;
+  if num path "fuzz" "chunk" root < 1.0 then die "%s: chunk < 1" path;
+  let n_chunks = num path "fuzz" "n_chunks" root in
+  let dones = list_of path "done" (get path "fuzz" "done" root) in
+  List.iteri
+    (fun i v ->
+      match Obs.Json.to_number v with
+      | Some f ->
+        if f <> float_of_int i then
+          die "%s: done rounds are not the prefix 0..%d" path
+            (List.length dones - 1);
+        if f >= n_chunks then die "%s: done index %g out of range" path f
+      | None -> die "%s: non-numeric done index" path)
+    dones;
+  let payload = get path "fuzz" "payload" root in
+  let int64_str what key =
+    let s = str path what key payload in
+    if Int64.of_string_opt s = None then
+      die "%s: %s.%s %S is not an int64" path what key s
+  in
+  int64_str "payload" "base_seed";
+  int64_str "payload" "rng";
+  let evaluated = num path "payload" "evaluated" payload in
+  let kept = num path "payload" "kept" payload in
+  let dud = num path "payload" "dud" payload in
+  if evaluated <> kept +. dud then
+    die "%s: evaluated %g <> kept %g + duds %g" path evaluated kept dud;
+  let entries = list_of path "entries" (get path "payload" "entries" payload) in
+  let last_trace = ref None in
+  List.iteri
+    (fun i e ->
+      let what = Printf.sprintf "entries[%d]" i in
+      let trace =
+        List.map
+          (fun c ->
+            match Obs.Json.to_number c with
+            | Some f
+              when Float.is_integer f && f >= 0.0
+                   && f < float_of_int Fuzz.Input.op_space ->
+              int_of_float f
+            | _ -> die "%s: %s: bad trace op code" path what)
+          (list_of path (what ^ ".trace") (get path what "trace" e))
+      in
+      if trace = [] then die "%s: %s: empty trace" path what;
+      (match !last_trace with
+      | Some prev when compare (List.length prev, prev) (List.length trace, trace) >= 0
+        ->
+        die "%s: %s: entries not in canonical (length, lex) order" path what
+      | _ -> ());
+      last_trace := Some trace;
+      let seed = str path what "seed" e in
+      if Int64.of_string_opt seed = None then
+        die "%s: %s: seed %S is not an int64" path what seed;
+      if str path what "outcome" e = "" then die "%s: %s: empty outcome" path what;
+      let sg = str path what "signature" e in
+      if sg <> "" then begin
+        let parts = String.split_on_char '|' sg in
+        if List.length parts <> 4 || List.exists (fun p -> p = "") parts then
+          die "%s: %s: signature %S is not fault|target|cause|branch" path what
+            sg
+      end)
+    entries;
+  let coverage =
+    list_of path "coverage" (get path "payload" "coverage" payload)
+  in
+  let last_point = ref "" in
+  List.iteri
+    (fun i c ->
+      let what = Printf.sprintf "coverage[%d]" i in
+      let point = str path what "point" c in
+      if point = "" then die "%s: %s: empty point" path what;
+      if i > 0 && point <= !last_point then
+        die "%s: %s: coverage points not strictly sorted" path what;
+      last_point := point;
+      let idx = num path what "entry" c in
+      if idx < 0.0 || idx >= float_of_int (List.length entries) then
+        die "%s: %s: entry index %g out of range" path what idx)
+    coverage;
+  Printf.printf "%s: OK nlh-fuzz/1 (%d/%g rounds, %d entries, %d points)\n"
+    path (List.length dones) n_chunks (List.length entries)
+    (List.length coverage)
+
 (* --- Dispatch -------------------------------------------------------- *)
 
 let check_file path =
@@ -374,6 +467,7 @@ let check_file path =
     | Some "nlh-triage/1" -> check_triage path root
     | Some "nlh-postmortem/1" -> check_postmortem path root
     | Some "nlh-checkpoint/1" -> check_checkpoint path root
+    | Some "nlh-fuzz/1" -> check_fuzz path root
     | Some s -> die "%s: unknown schema %S" path s
     | None -> die "%s: neither a Chrome trace nor a schema document" path)
 

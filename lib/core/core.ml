@@ -73,13 +73,14 @@ end
 
 (** One-call fault-injection experiments. *)
 module Experiment = struct
-  type fault = Failstop | Register | Code
+  type fault = Failstop | Register | Code | Data
   type mechanism = Nilihype | Rehype
 
   let to_inject_fault = function
     | Failstop -> Inject.Fault.Failstop
     | Register -> Inject.Fault.Register
     | Code -> Inject.Fault.Code
+    | Data -> Inject.Fault.Data
 
   let to_engine = function
     | Nilihype -> Recovery.Engine.Nilihype

@@ -19,6 +19,8 @@ type target =
   | Privvm_critical (* the PrivVM itself is taken out *)
   | Recovery_handler (* the recovery routine's own state/code *)
   | Guest_frame (* guest-owned memory: at most one VM affected *)
+  | Heap_header (* live heap object's header canary smashed *)
+  | Pfn_type_scramble (* pfn descriptor type field bit-flipped *)
 
 let name = function
   | Pfn_validated_flip -> "pfn_validated_flip"
@@ -32,6 +34,32 @@ let name = function
   | Privvm_critical -> "privvm_critical"
   | Recovery_handler -> "recovery_handler"
   | Guest_frame -> "guest_frame"
+  | Heap_header -> "heap_header"
+  | Pfn_type_scramble -> "pfn_type_scramble"
+
+(* The full target space in a fixed order, indexable by the fuzzer's
+   directed faults ({!Fault.directive.d_target}). Append-only: corpus
+   entries persist indices, so reordering would silently change what an
+   old repro does. *)
+let all =
+  [|
+    Pfn_validated_flip;
+    Pfn_use_count_skew;
+    Sched_metadata;
+    Timer_deadline;
+    Timer_structure;
+    Heap_freelist;
+    Static_scalar;
+    Domain_struct;
+    Privvm_critical;
+    Recovery_handler;
+    Guest_frame;
+    Heap_header;
+    Pfn_type_scramble;
+  |]
+
+let n_targets = Array.length all
+let of_index i = all.(((i mod n_targets) + n_targets) mod n_targets)
 
 let random_domain hv rng ~app_only =
   let doms =
@@ -105,3 +133,40 @@ let apply hv rng target =
       if Sim.Rng.bool rng then d.Domain.guest_sdc <- true
       else d.Domain.guest_failed <- true
     | None -> ())
+  | Heap_header ->
+    (* Flip the header canary of a live heap object. The object keeps
+       working until either its owner frees it (panic on the corrupted
+       header) or the end-of-run audit walks the heap -- damage that
+       ReHype's reboot-time heap reconstruction repairs but a microreset
+       preserves. The pick is by ascending oid, not hashtable order, so
+       it depends only on the rng stream and the allocation history. *)
+    let objs = ref [] in
+    Heap.iter_live hv.Hypervisor.heap (fun o -> objs := o :: !objs);
+    let objs =
+      List.sort (fun (a : Heap.obj) b -> compare a.Heap.oid b.Heap.oid) !objs
+    in
+    (match objs with
+    | [] -> ()
+    | l ->
+      let o = List.nth l (Sim.Rng.int rng (List.length l)) in
+      o.Heap.header_ok <- false)
+  | Pfn_type_scramble ->
+    (* Bit-flip in a pfn descriptor's type field: the frame's recorded
+       type no longer matches its references. [scan_and_fix] repairs the
+       disagreement at recovery time; until then get_page/put_page and
+       the allocator can trip over it. *)
+    let frames = Hypervisor.frames hv in
+    let rec pick tries =
+      let d = Pfn.get hv.Hypervisor.pfn (Sim.Rng.int rng frames) in
+      if d.Pfn.use_count > 0 || tries > 16 then d else pick (tries + 1)
+    in
+    let d = pick 0 in
+    Pfn.touch d;
+    d.Pfn.ptype <-
+      (match d.Pfn.ptype with
+      | Pfn.Free -> Pfn.Writable
+      | Pfn.Writable -> Pfn.Page_table
+      | Pfn.Page_table -> Pfn.Writable
+      | Pfn.Segdesc -> Pfn.Shared
+      | Pfn.Shared -> Pfn.Segdesc
+      | Pfn.Xenheap -> Pfn.Free)

@@ -34,6 +34,7 @@ let fault_cli = function
   | Fault.Failstop -> "failstop"
   | Fault.Register -> "register"
   | Fault.Code -> "code"
+  | Fault.Data -> "data"
 
 (* Canonical death cause: collapse the free-form [failure_reason] into a
    closed, greppable vocabulary. Signature keys must stay low-cardinality

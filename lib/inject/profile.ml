@@ -47,11 +47,26 @@ let code_distribution =
     (0.040, { corruptions = 1; crash_now = `No; guest_hit = true });
   ]
 
+(* Data faults: the flip lands directly in a hypervisor data structure,
+   so there is no immediate trap at all -- the damage sits latent until
+   something reads it. Most flips hit dead or never-read words; the ones
+   that land in live metadata corrupt one structure; a small fraction
+   hit a word that is dereferenced immediately. *)
+let data_distribution =
+  [
+    (0.450, no_effect);
+    (0.330, { corruptions = 1; crash_now = `No; guest_hit = false });
+    (0.120, { corruptions = 1; crash_now = `Panic; guest_hit = false });
+    (0.060, { corruptions = 2; crash_now = `No; guest_hit = false });
+    (0.040, { corruptions = 0; crash_now = `Hang; guest_hit = false });
+  ]
+
 let sample_manifestation rng (fault : Fault.t) =
   match fault with
   | Fault.Failstop -> failstop
   | Fault.Register -> Sim.Rng.choose_weighted rng register_distribution
   | Fault.Code -> Sim.Rng.choose_weighted rng code_distribution
+  | Fault.Data -> Sim.Rng.choose_weighted rng data_distribution
 
 (* Where a wild write lands. Weighted by the footprint and write
    frequency of each structure class in hypervisor execution. The three
@@ -74,6 +89,26 @@ let corruption_targets =
   ]
 
 let sample_corruption_target rng = Sim.Rng.choose_weighted rng corruption_targets
+
+(* Data faults corrupt the two structure families the taxonomy names --
+   heap block headers and pfn descriptors -- rather than the wild-write
+   footprint above. *)
+let data_corruption_targets =
+  [
+    (0.40, Corrupt.Heap_header);
+    (0.25, Corrupt.Pfn_validated_flip);
+    (0.20, Corrupt.Pfn_use_count_skew);
+    (0.15, Corrupt.Pfn_type_scramble);
+  ]
+
+(* Target distribution by fault kind: identical to
+   [sample_corruption_target] for the datapath kinds, so adding [Data]
+   changed nothing about existing campaigns' streams. *)
+let sample_corruption_target_for rng (fault : Fault.t) =
+  match fault with
+  | Fault.Data -> Sim.Rng.choose_weighted rng data_corruption_targets
+  | Fault.Failstop | Fault.Register | Fault.Code ->
+    Sim.Rng.choose_weighted rng corruption_targets
 
 (* Probability that, at detection time, another CPU is mid-flight inside
    the hypervisor (its thread is then also discarded with partial state

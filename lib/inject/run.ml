@@ -30,6 +30,10 @@ type config = {
   trigger_window_steps : int; (* second-level trigger range, in steps *)
   discard_scope : discard_scope;
   vcpus_per_cpu : int; (* >1 explores the paper's future-work configs *)
+  directive : Fault.directive option;
+      (* [Some d]: apply exactly the fault point [d] instead of sampling
+         a manifestation -- the fuzzer's mutation hook. Post-warmup only,
+         so runs sharing a seed share a warmup whatever their directives. *)
 }
 
 let default_config =
@@ -45,6 +49,7 @@ let default_config =
     trigger_window_steps = 2000;
     discard_scope = Scope_all_threads;
     vcpus_per_cpu = 1;
+    directive = None;
   }
 
 type outcome =
@@ -187,10 +192,34 @@ let install_cpu_tracker st =
     Some (fun _hv _activity _idx _name cpu -> st.last_cpu <- cpu)
 
 (* Arm the two-level trigger: after [countdown] further hypervisor
-   steps, the sampled manifestation is applied. *)
+   steps, the sampled manifestation is applied -- or, when the config
+   carries a {!Fault.directive}, exactly that fault point. A directed
+   fault draws the corruption's internal choices (which frame, which
+   delta) from its own splitmix stream seeded by [d_payload] instead of
+   the run stream: mutating the payload bits explores different concrete
+   corruptions of the same target against the identical trigger state. *)
 let arm_fault st =
-  let manifestation = Profile.sample_manifestation st.rng st.cfg.fault in
-  let countdown = ref (1 + Sim.Rng.int st.rng st.cfg.trigger_window_steps) in
+  let directed = st.cfg.directive in
+  let manifestation =
+    match directed with
+    | None -> Profile.sample_manifestation st.rng st.cfg.fault
+    | Some d ->
+      {
+        Profile.corruptions = (if d.Fault.d_target >= 0 then 1 else 0);
+        crash_now =
+          (match d.Fault.d_crash with
+          | Fault.Crash_none -> `No
+          | Fault.Crash_panic -> `Panic
+          | Fault.Crash_hang -> `Hang);
+        guest_hit = false;
+      }
+  in
+  let countdown =
+    ref
+      (match directed with
+      | Some d -> 1 + (d.Fault.d_window mod max 1 st.cfg.trigger_window_steps)
+      | None -> 1 + Sim.Rng.int st.rng st.cfg.trigger_window_steps)
+  in
   st.hv.Hypervisor.step_hook <-
     Some
       (fun hv activity _idx step_name cpu ->
@@ -208,9 +237,17 @@ let arm_fault st =
                 (Obs.Event.Fault_injected { target = target_name })
             in
             for _ = 1 to manifestation.Profile.corruptions do
-              let target = Profile.sample_corruption_target st.rng in
-              note_fault (Corrupt.name target);
-              Corrupt.apply hv st.rng target
+              match directed with
+              | Some d ->
+                let target = Corrupt.of_index d.Fault.d_target in
+                note_fault (Corrupt.name target);
+                Corrupt.apply hv (Sim.Rng.create d.Fault.d_payload) target
+              | None ->
+                let target =
+                  Profile.sample_corruption_target_for st.rng st.cfg.fault
+                in
+                note_fault (Corrupt.name target);
+                Corrupt.apply hv st.rng target
             done;
             if manifestation.Profile.guest_hit then begin
               note_fault (Corrupt.name Corrupt.Guest_frame);
@@ -799,12 +836,21 @@ let prepare_clone (w : worker) (cfg : config) : clone_source =
 (* Replay one fault variant from the trigger-point image. [reseed]
    selects the variant: it rewinds the RNG to the trigger point by
    default (identical twins) or forks the stream for distinct variants.
-   The first replay runs directly on the just-prepared machine; later
-   ones restore the image first -- O(what the previous variant touched).
-   Each variant's run records into the worker recorder exactly what a
-   fresh full run with the same post-trigger stream would have recorded. *)
-let clone_into ?reseed (src : clone_source) : outcome =
-  let st = src.cs_state in
+   [cfg] overrides the post-trigger configuration -- fault kind and
+   directive in particular -- so the fuzzer can clone one warmup across
+   mutants that differ only past the trigger point; the prepared machine
+   and warmup are shared, only [finish_prepared] sees the variant
+   config. The first replay runs directly on the just-prepared machine;
+   later ones restore the image first -- O(what the previous variant
+   touched). Each variant's run records into the worker recorder exactly
+   what a fresh full run with the same post-trigger stream would have
+   recorded. *)
+let clone_into ?reseed ?cfg (src : clone_source) : outcome =
+  let st =
+    match cfg with
+    | None -> src.cs_state
+    | Some cfg -> { src.cs_state with cfg }
+  in
   let w = src.cs_worker in
   Obs.Recorder.alloc_begin st.hv.Hypervisor.obs;
   Hypervisor.restore st.hv src.cs_image;

@@ -17,6 +17,13 @@
 
 let schema = "nlh-checkpoint/1"
 
+(* The fuzzer reuses the same envelope (fingerprint identity, done
+   bitmap, atomic write, opaque payload) under its own schema tag: a
+   corpus/state file is a checkpoint whose payload happens to hold the
+   corpus. The [?schema] parameters below default to the classic tag so
+   existing campaign/endurance files are untouched. *)
+let fuzz_schema = "nlh-fuzz/1"
+
 type header = {
   kind : string; (* "campaign" | "endurance" *)
   fingerprint : string; (* config/seed identity; resume requires equality *)
@@ -38,7 +45,7 @@ let complete h = done_count h = h.n_chunks
    written as the ascending list of completed chunk indices: sparse early
    in a campaign, and self-validating (the parser rejects out-of-order or
    duplicate indices). *)
-let to_string h ~payload =
+let to_string ?(schema = schema) h ~payload =
   let buf = Buffer.create (256 + String.length payload) in
   Buffer.add_string buf "{\"schema\":";
   Json.escape_to buf schema;
@@ -63,12 +70,12 @@ let to_string h ~payload =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let write ~path h ~payload =
+let write ?schema ~path h ~payload =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string h ~payload));
+    (fun () -> output_string oc (to_string ?schema h ~payload));
   Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
@@ -94,7 +101,7 @@ let int_exn what key v =
   | Some f when Float.is_integer f -> int_of_float f
   | Some _ | None -> fail "%s: %S is not an integer" what key
 
-let of_json root =
+let of_json ?(schema = schema) root =
   (match Json.member "schema" root with
   | Some (Json.String s) when s = schema -> ()
   | Some (Json.String s) -> fail "schema %S is not %S" s schema
@@ -132,7 +139,7 @@ let of_json root =
   in
   ({ kind; fingerprint; chunk; n_chunks; done_chunks }, payload)
 
-let read path =
+let read ?schema path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -143,7 +150,7 @@ let read path =
   | contents -> (
     match Json.parse contents with
     | Error msg -> Error ("invalid JSON: " ^ msg)
-    | Ok root -> ( try Ok (of_json root) with Bad msg -> Error msg))
+    | Ok root -> ( try Ok (of_json ?schema root) with Bad msg -> Error msg))
 
 (* ------------------------------------------------------------------ *)
 (* Metrics-snapshot round trip                                         *)

@@ -1,0 +1,35 @@
+(** Coverage extraction for the fault-space fuzzer.
+
+    A run's coverage is the set of qualitative facts its instrumentation
+    recorded: which outcome class it reached, which triage signature it
+    produced, and which metric counters fired -- bucketed by magnitude so
+    "3 hypercall retries" and "5 hypercall retries" are the same point
+    but "0" and "100" are not. Points are strings so the corpus can
+    store, sort and diff them without knowing where they came from:
+
+    - ["o:<outcome>"] -- the outcome class name
+    - ["sig:<fault|target|cause|branch>"] -- the triage signature key
+    - ["c:<counter>:<bucket>"] -- a nonzero counter, bucketed
+
+    The bucket is the base-4 digit count of the value (1..31), so each
+    counter contributes at most a handful of distinct points however
+    long the fuzzing session runs. Histograms and gauges are skipped:
+    histogram shapes are latency noise, and the one gauge is a
+    timestamp. *)
+
+(* log4(v), as a digit count: 1..3 -> 1, 4..15 -> 2, 16..63 -> 3 ... *)
+let bucket v =
+  let rec go n v = if v <= 0 then n else go (n + 1) (v / 4) in
+  go 0 v
+
+let points ?signature ~outcome (s : Metrics.snapshot) : string list =
+  let pts = ref [ "o:" ^ outcome ] in
+  (match signature with
+  | Some key -> pts := ("sig:" ^ key) :: !pts
+  | None -> ());
+  List.iter
+    (fun (name, v) ->
+      if v > 0 then
+        pts := Printf.sprintf "c:%s:%d" name (bucket v) :: !pts)
+    s.Metrics.counters;
+  List.sort_uniq String.compare !pts
