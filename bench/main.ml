@@ -25,6 +25,8 @@ let min_speedup = ref 0.0 (* jobs>1 throughput floor, x jobs=1; 0 = off *)
 let max_words_per_run = ref 0.0 (* minor words/run ceiling in scaling; 0 = off *)
 let fuzz_out = ref "BENCH_fuzz.json"
 let soak_out = ref "BENCH_soak.json"
+let fleet_out = ref "BENCH_fleet.json"
+let max_incremental_frac = ref 0.15 (* incremental/full recovery-mean ceiling *)
 let soak_runs = ref 100_000
 let max_heap_growth = ref 15.0 (* top-heap growth ceiling 1e3 -> soak, % *)
 
@@ -35,7 +37,7 @@ let resolve_jobs () = if !jobs > 0 then !jobs else Inject.Pool.default_jobs ()
 let perf_sections =
   [
     "campaign_smoke"; "scaling"; "endurance"; "alloc"; "snapshot";
-    "obs_overhead"; "fuzz"; "soak";
+    "obs_overhead"; "fuzz"; "soak"; "fleet";
   ]
 
 let section name =
@@ -1482,6 +1484,85 @@ let soak () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Fleet: hundreds of tenant VMs, request latency through a recovery    *)
+(* event, per mechanism. Gates (a) the incremental microreset: its mean *)
+(* recovery latency must be at most --max-incremental-frac of the       *)
+(* full-scan's at the paper's reference geometry (2 Mi frames); (b) the *)
+(* sharded recovery: its request p99 through the event must be strictly *)
+(* below serial (full-scan) recovery's; and (c) jobs invariance: every  *)
+(* mechanism's merged aggregate must be bit-identical when the trials   *)
+(* are re-run on a different, oversubscribed worker count.              *)
+(* BENCH_fleet.json.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_bench () =
+  hr "Fleet: tenant request latency through a recovery event";
+  tune_gc_for_campaigns ();
+  let cfg =
+    if !full then Fleet.default_config
+    else { Fleet.default_config with Fleet.tenants = 96; trials = 2 }
+  in
+  let j = resolve_jobs () in
+  Format.printf "%d tenants, %d trials/mechanism, %d victims, jobs=%d@.@."
+    cfg.Fleet.tenants cfg.Fleet.trials cfg.Fleet.victims j;
+  let results =
+    List.map
+      (fun mech ->
+        let r = Fleet.run ~jobs:j cfg mech in
+        Format.printf "  %a" Fleet.pp r;
+        r)
+      Fleet.all_mechanisms
+  in
+  let find mech =
+    List.find (fun (r : Fleet.result) -> r.Fleet.mech = mech) results
+  in
+  let full_r = find Fleet.Serial_full in
+  let incr_r = find Fleet.Serial_incremental in
+  let shard_r = find Fleet.Sharded in
+  let full_mean = Fleet.recovery_mean_ns full_r in
+  let incr_mean = Fleet.recovery_mean_ns incr_r in
+  let frac = float_of_int incr_mean /. float_of_int full_mean in
+  let p99_full = Fleet.request_quantile full_r 0.99 in
+  let p99_shard = Fleet.request_quantile shard_r 0.99 in
+  Format.printf
+    "@.incremental/full recovery mean: %a / %a = %.3f (ceiling %.2f)@."
+    Sim.Time.pp_ms incr_mean Sim.Time.pp_ms full_mean frac
+    !max_incremental_frac;
+  Format.printf "request p99 through the event: sharded %a vs serial-full %a@."
+    Sim.Time.pp_ms p99_shard Sim.Time.pp_ms p99_full;
+  (* Jobs invariance, the adversarial way: different worker count,
+     oversubscribed scheduling. *)
+  let invariant =
+    List.for_all
+      (fun (r : Fleet.result) ->
+        let r' = Fleet.run ~jobs:(j + 1) ~oversubscribe:true cfg r.Fleet.mech in
+        r'.Fleet.metrics = r.Fleet.metrics)
+      results
+  in
+  Format.printf "aggregates jobs-invariant (jobs=%d vs %d): %b@." j (j + 1)
+    invariant;
+  let oc = open_out !fleet_out in
+  Fleet.write_json oc cfg results;
+  close_out oc;
+  Format.printf "wrote %s@." !fleet_out;
+  if frac > !max_incremental_frac then begin
+    Format.printf
+      "FAIL: incremental microreset is %.3f of the full scan (ceiling %.2f)@."
+      frac !max_incremental_frac;
+    exit 1
+  end;
+  if p99_shard >= p99_full then begin
+    Format.printf
+      "FAIL: sharded request p99 (%a) not below serial recovery's (%a)@."
+      Sim.Time.pp_ms p99_shard Sim.Time.pp_ms p99_full;
+    exit 1
+  end;
+  if not invariant then begin
+    Format.printf "FAIL: fleet aggregates depend on --jobs@.";
+    exit 1
+  end
+
 let () =
   Arg.parse
     [
@@ -1540,6 +1621,13 @@ let () =
         Arg.Set_float max_heap_growth,
         " fail the soak if top-heap words grow more than this % from the \
          1000-run campaign" );
+      ( "--fleet-out",
+        Arg.Set_string fleet_out,
+        " output path for the fleet tail-latency JSON record (nlh-fleet/1)" );
+      ( "--max-incremental-frac",
+        Arg.Set_float max_incremental_frac,
+        " fail the fleet section if incremental recovery mean exceeds this \
+         fraction of the full scan's" );
     ]
     (fun s -> sections := s :: !sections)
     "bench/main.exe [--full] [--jobs N] [sections...]";
@@ -1563,4 +1651,5 @@ let () =
   if section "obs_overhead" then obs_overhead ();
   if section "fuzz" then fuzz_bench ();
   if section "soak" then soak ();
+  if section "fleet" then fleet_bench ();
   Format.printf "@.done.@."

@@ -13,6 +13,9 @@
    - "nlh-checkpoint/1" soak checkpoints: kind/fingerprint identity,
      ascending done-chunk indices in range, and a payload whose totals
      satisfy the per-kind accounting identities.
+   - "nlh-fleet/1" fleet reports: known mechanisms appearing once each,
+     request counts matching histogram samples, ordered latency
+     quantiles, and per-trial scan-path accounting.
 
    Accepts any number of files; used by the @check alias as the
    export smoke test. *)
@@ -450,6 +453,65 @@ let check_fuzz path root =
     path (List.length dones) n_chunks (List.length entries)
     (List.length coverage)
 
+(* --- nlh-fleet/1 ----------------------------------------------------- *)
+
+(* A fleet report: per-mechanism request-latency quantiles through a
+   recovery event. Invariants: every mechanism name is known and appears
+   once; request counts equal the histogram sample counts; stalled and
+   SLO-violating requests cannot exceed the total; quantiles are
+   ordered; mean recovery latency cannot exceed the max; and each trial
+   took exactly one consistency-scan path (incremental + full = trials). *)
+let check_fleet path root =
+  let trials = num path "document" "trials" root in
+  if trials < 1.0 then die "%s: trials %g < 1" path trials;
+  if num path "document" "tenants" root < 1.0 then die "%s: tenants < 1" path;
+  if num path "document" "slo_ns" root <= 0.0 then die "%s: slo_ns <= 0" path;
+  let mechs =
+    list_of path "mechanisms" (get path "document" "mechanisms" root)
+  in
+  if mechs = [] then die "%s: empty mechanisms array" path;
+  let seen = ref [] in
+  List.iteri
+    (fun i m ->
+      let what = Printf.sprintf "mechanisms[%d]" i in
+      let name = str path what "mechanism" m in
+      if
+        not
+          (List.mem name [ "serial-full"; "serial-incremental"; "sharded" ])
+      then die "%s: %s: unknown mechanism %S" path what name;
+      if List.mem name !seen then
+        die "%s: %s: duplicate mechanism %S" path what name;
+      seen := name :: !seen;
+      let f k = num path what k m in
+      let requests = f "requests" in
+      if requests < 1.0 then die "%s: %s: no requests" path what;
+      if f "samples" <> requests then
+        die "%s: %s: samples %g <> requests %g" path what (f "samples")
+          requests;
+      if f "stalled" > requests then
+        die "%s: %s: stalled > requests" path what;
+      if f "slo_violations" > requests then
+        die "%s: %s: slo_violations > requests" path what;
+      List.iter
+        (fun k -> if f k < 0.0 then die "%s: %s: negative %s" path what k)
+        [ "stalled"; "slo_violations"; "tenants_failed"; "net_lost" ];
+      let p50 = f "request_p50_ns"
+      and p99 = f "request_p99_ns"
+      and p999 = f "request_p999_ns" in
+      if not (0.0 < p50 && p50 <= p99 && p99 <= p999) then
+        die "%s: %s: request quantiles not ordered (%g %g %g)" path what p50
+          p99 p999;
+      if f "recovery_ns_mean" > f "recovery_ns_max" then
+        die "%s: %s: recovery mean exceeds max" path what;
+      if f "recovery_ns_mean" <= 0.0 then
+        die "%s: %s: non-positive recovery latency" path what;
+      if f "scan_incremental" +. f "scan_full" <> trials then
+        die "%s: %s: scan_incremental %g + scan_full %g <> trials %g" path
+          what (f "scan_incremental") (f "scan_full") trials)
+    mechs;
+  Printf.printf "%s: OK nlh-fleet/1 (%d mechanisms, %g trials each)\n" path
+    (List.length mechs) trials
+
 (* --- Dispatch -------------------------------------------------------- *)
 
 let check_file path =
@@ -468,6 +530,7 @@ let check_file path =
     | Some "nlh-postmortem/1" -> check_postmortem path root
     | Some "nlh-checkpoint/1" -> check_checkpoint path root
     | Some "nlh-fuzz/1" -> check_fuzz path root
+    | Some "nlh-fleet/1" -> check_fleet path root
     | Some s -> die "%s: unknown schema %S" path s
     | None -> die "%s: neither a Chrome trace nor a schema document" path)
 

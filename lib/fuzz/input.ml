@@ -22,6 +22,7 @@ type point = {
   p_payload : int64; (* seeds the corruption's private rng stream *)
   p_crash : int; (* 0 = none, 1 = panic, 2 = hang *)
   p_window : int; (* trigger offset, folded mod the window by arm_fault *)
+  p_incremental : bool; (* dirty-list consistency scan on recovery *)
 }
 
 (* Matches [Run.default_config.trigger_window_steps]; window ops wrap
@@ -44,6 +45,7 @@ let base_point ~base_seed =
     p_payload = 0L;
     p_crash = 1;
     p_window = 0;
+    p_incremental = false;
   }
 
 let op_bits = 48
@@ -58,7 +60,16 @@ let apply_op ~base_seed p code =
   | 1 -> { p with p_kind = List.nth Inject.Fault.all (arg mod n_kinds) }
   | 2 -> { p with p_target = (arg mod (Inject.Corrupt.n_targets + 1)) - 1 }
   | 3 -> { p with p_payload = Int64.logxor p.p_payload (Int64.of_int arg) }
-  | 4 -> { p with p_crash = arg mod 3 }
+  (* Tag 4 packs two axes: the crash mode in the low arg bits and the
+     recovery path (incremental vs full consistency scan) in bit 2, so
+     the fuzzer explores both scan paths without widening the 3-bit tag
+     space (which would re-encode every stored trace). *)
+  | 4 ->
+    {
+      p with
+      p_crash = arg mod 3;
+      p_incremental = (arg lsr 2) land 1 = 1;
+    }
   | 5 -> { p with p_window = arg mod window_span }
   | 6 -> { p with p_window = (p.p_window + 1 + (arg mod 31)) mod window_span }
   | _ -> { p with p_payload = Int64.add p.p_payload (Int64.of_int (1 + (arg mod 255))) }
@@ -84,8 +95,9 @@ let kind_index k =
 
 (* Canonical rendering of a point, used for grouping and display. *)
 let point_key p =
-  Printf.sprintf "%Ld|%d|%d|%Ld|%d|%d" p.p_seed (kind_index p.p_kind) p.p_target
-    p.p_payload p.p_crash p.p_window
+  Printf.sprintf "%Ld|%d|%d|%Ld|%d|%d|%c" p.p_seed (kind_index p.p_kind)
+    p.p_target p.p_payload p.p_crash p.p_window
+    (if p.p_incremental then 'i' else 'f')
 
 let crash_of = function
   | 0 -> Inject.Fault.Crash_none
@@ -102,13 +114,18 @@ let directive_of p =
 
 (* The run configuration a point resolves to, over the session's base
    config. The directive fires post-warmup, so two points sharing a seed
-   share a warmup -- the invariant clone fan-out scheduling rests on. *)
+   share a warmup -- the invariant clone fan-out scheduling rests on.
+   The incremental axis only toggles which consistency-scan path the
+   recovery takes; the machine geometry and warmup are unchanged, so it
+   preserves that invariant. *)
 let config_of ~(base : Inject.Run.config) p =
   {
     base with
     Inject.Run.seed = p.p_seed;
     fault = p.p_kind;
     directive = Some (directive_of p);
+    hv_config =
+      { base.Inject.Run.hv_config with Hyper.Config.incremental_scan = p.p_incremental };
   }
 
 (* CLI encoding of a trace: decimal op codes joined by commas ("-" for

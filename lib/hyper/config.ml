@@ -5,6 +5,20 @@
     during normal operation (Figure 3) and are what distinguishes the
     stock hypervisor from the NiLiHype / ReHype builds. *)
 
+(* Machine geometry as the latency model sees it: the frame count and
+   CPU count every size-proportional recovery cost derives from. The
+   paper's reference host is 8 GB / 8 CPUs (Tables II and III).
+
+   Simulated machines are usually much smaller than the machine they
+   model (campaign tables hold 64 Ki descriptors, not 2 Mi), and the
+   recovery-latency accounting is analytic in the counts -- so a config
+   can pin an explicit geometry to report latencies for the *modelled*
+   host while the simulation walks the scaled-down tables. *)
+type geometry = { frames : int; cpus : int }
+
+(* 8 GB / 4 KB pages = 2_097_152 frames; 8 CPUs. *)
+let reference_geometry = { frames = 2_097_152; cpus = 8 }
+
 type t = {
   nonidempotent_logging : bool;
       (* undo-journal critical variable changes in non-idempotent
@@ -30,6 +44,17 @@ type t = {
       (* ABI limit on batched sub-operations per hypercall (PTE writes in
          an mmu_update, map/unmap pairs in a grant_table_op); sizes the
          hypervisor's interned step-name tables at create time *)
+  geometry : geometry option;
+      (* the geometry all scan costs are charged at; [None] derives it
+         from the simulated machine itself (honest for that machine),
+         [Some g] reports latencies for a modelled host of [g] while the
+         simulation runs on its own (usually smaller) tables *)
+  incremental_scan : bool;
+      (* drive the recovery-time consistency passes off the copy-on-write
+         dirty lists (O(damaged state)) instead of walking the whole
+         structures (O(machine)); requires the dirty tracking to be
+         intact at recovery time, else recovery falls back to the full
+         scan *)
 }
 
 (* The watchdog declares a hang after this many consecutive missed
@@ -48,6 +73,8 @@ let stock =
     bootline_logging = false;
     watchdog_period_ms = 100;
     max_hypercall_subops = 8;
+    geometry = None;
+    incremental_scan = false;
   }
 
 let nilihype =
@@ -60,9 +87,18 @@ let nilihype =
     bootline_logging = false;
     watchdog_period_ms = 100;
     max_hypercall_subops = 8;
+    geometry = None;
+    incremental_scan = false;
   }
 
 (* NiLiHype* in Figure 3: the logging turned off. *)
 let nilihype_no_logging = { nilihype with nonidempotent_logging = false }
+
+(* NiLiHype with the incremental (dirty-list-driven) recovery passes:
+   identical normal-operation cost -- the copy-on-write dirty tracking
+   already exists for snapshots -- but recovery walks only state written
+   since the last golden refresh, falling back to the full scan when the
+   tracking cannot be trusted. *)
+let nilihype_incremental = { nilihype with incremental_scan = true }
 
 let rehype = { nilihype with ioapic_write_logging = true; bootline_logging = true }

@@ -4,7 +4,16 @@
     "all the locks stored in the heap") plus the integrity of the
     allocator's free lists. Free-list corruption is the class of damage
     that ReHype's "recreate the new heap" reboot step repairs but
-    NiLiHype cannot -- one source of ReHype's small recovery-rate edge. *)
+    NiLiHype cannot -- one source of ReHype's small recovery-rate edge.
+
+    Like the page-frame table ({!Pfn}), the heap carries copy-on-write
+    golden state behind {!Hypervisor.snapshot}: each object holds a
+    golden copy of its mutable fields plus a dirty bit, and a shared
+    dirty list records objects allocated, freed or written since the
+    last {!snapshot}. Both {!snapshot} and {!restore} walk only that
+    list -- O(changed objects), not O(live heap). Mutators inside this
+    module mark objects dirty themselves; external writers (the fault
+    injector) must go through {!corrupt_header}. *)
 
 type kind =
   | Lock of Spinlock.t
@@ -19,7 +28,17 @@ type obj = {
   mutable live : bool;
   mutable header_ok : bool; (* object header canary *)
   size : int;
+  (* Golden image of the mutable fields plus table membership,
+     refreshed by [snapshot]. *)
+  mutable g_live : bool;
+  mutable g_header_ok : bool;
+  mutable g_in_table : bool;
+  mutable in_table : bool;
+  mutable dirty : bool; (* on the heap's dirty list? *)
+  tracker : tracker; (* back-pointer: mutators see only the object *)
 }
+
+and tracker = { mutable dirty_list : obj list }
 
 type t = {
   mutable next_oid : int;
@@ -28,6 +47,13 @@ type t = {
   mutable freelist_note : string;
   mutable bytes_live : int;
   mutable allocs : int;
+  tracker : tracker;
+  (* Golden scalars, refreshed by [snapshot]. *)
+  mutable g_next_oid : int;
+  mutable g_freelist_ok : bool;
+  mutable g_freelist_note : string;
+  mutable g_bytes_live : int;
+  mutable g_allocs : int;
 }
 
 let create () =
@@ -38,23 +64,104 @@ let create () =
     freelist_note = "";
     bytes_live = 0;
     allocs = 0;
+    tracker = { dirty_list = [] };
+    g_next_oid = 0;
+    g_freelist_ok = true;
+    g_freelist_note = "";
+    g_bytes_live = 0;
+    g_allocs = 0;
   }
 
 (* Forget every object and restart oid numbering, as [create] would.
    [Hashtbl.reset] (not [clear]) restores the initial capacity so the
-   reused table also iterates in the same order as a fresh one. *)
+   reused table also iterates in the same order as a fresh one. The
+   golden state is reset too -- after a reset the heap looks exactly as
+   created, snapshot baseline included. *)
 let reset t =
   t.next_oid <- 0;
   Hashtbl.reset t.objs;
   t.freelist_ok <- true;
   t.freelist_note <- "";
   t.bytes_live <- 0;
-  t.allocs <- 0
+  t.allocs <- 0;
+  t.tracker.dirty_list <- [];
+  t.g_next_oid <- 0;
+  t.g_freelist_ok <- true;
+  t.g_freelist_note <- "";
+  t.g_bytes_live <- 0;
+  t.g_allocs <- 0
+
+(* Mark an object as modified since the last snapshot. *)
+let touch obj =
+  if not obj.dirty then begin
+    obj.dirty <- true;
+    obj.tracker.dirty_list <- obj :: obj.tracker.dirty_list
+  end
+
+let dirty_count t = List.length t.tracker.dirty_list
+
+(* Refresh the golden image: record the live fields and table membership
+   of every object changed since the previous snapshot and drain the
+   dirty list. O(changed objects). *)
+let snapshot t =
+  List.iter
+    (fun o ->
+      o.g_live <- o.live;
+      o.g_header_ok <- o.header_ok;
+      o.g_in_table <- o.in_table;
+      o.dirty <- false)
+    t.tracker.dirty_list;
+  t.tracker.dirty_list <- [];
+  t.g_next_oid <- t.next_oid;
+  t.g_freelist_ok <- t.freelist_ok;
+  t.g_freelist_note <- t.freelist_note;
+  t.g_bytes_live <- t.bytes_live;
+  t.g_allocs <- t.allocs
+
+(* Rewind every object changed since the last snapshot: re-insert
+   objects freed since, drop objects allocated since, rewind field
+   values. O(changed objects); repeatable like {!Pfn.restore}. *)
+let restore t =
+  List.iter
+    (fun o ->
+      o.live <- o.g_live;
+      o.header_ok <- o.g_header_ok;
+      if o.g_in_table && not o.in_table then begin
+        Hashtbl.replace t.objs o.oid o;
+        o.in_table <- true
+      end
+      else if o.in_table && not o.g_in_table then begin
+        Hashtbl.remove t.objs o.oid;
+        o.in_table <- false
+      end;
+      o.dirty <- false)
+    t.tracker.dirty_list;
+  t.tracker.dirty_list <- [];
+  t.next_oid <- t.g_next_oid;
+  t.freelist_ok <- t.g_freelist_ok;
+  t.freelist_note <- t.g_freelist_note;
+  t.bytes_live <- t.g_bytes_live;
+  t.allocs <- t.g_allocs
 
 let alloc t ?(size = 64) kind =
   if not t.freelist_ok then
     Crash.hang "heap: free-list walk never terminates (%s)" t.freelist_note;
-  let obj = { oid = t.next_oid; kind; live = true; header_ok = true; size } in
+  let obj =
+    {
+      oid = t.next_oid;
+      kind;
+      live = true;
+      header_ok = true;
+      size;
+      g_live = false;
+      g_header_ok = true;
+      g_in_table = false; (* did not exist at the last snapshot *)
+      in_table = true;
+      dirty = false;
+      tracker = t.tracker;
+    }
+  in
+  touch obj;
   t.next_oid <- t.next_oid + 1;
   Hashtbl.replace t.objs obj.oid obj;
   t.bytes_live <- t.bytes_live + size;
@@ -67,7 +174,9 @@ let free t obj =
   if not obj.live then Crash.panic "heap: double free of object %d" obj.oid;
   if not obj.header_ok then
     Crash.panic "heap: corrupted object header on free (oid %d)" obj.oid;
+  touch obj;
   obj.live <- false;
+  obj.in_table <- false;
   t.bytes_live <- t.bytes_live - obj.size;
   Hashtbl.remove t.objs obj.oid
 
@@ -80,6 +189,13 @@ let bytes_live t = t.bytes_live
 let corrupt_freelist t note =
   t.freelist_ok <- false;
   t.freelist_note <- note
+
+(* A wild write smashing a live object's header canary. Marks the object
+   dirty like any other write, so a snapshot restore rewinds the damage
+   and the incremental recovery audit visits it. *)
+let corrupt_header obj =
+  touch obj;
+  obj.header_ok <- false
 
 let freelist_ok t = t.freelist_ok
 
@@ -111,7 +227,9 @@ let any_heap_lock_held t =
 let rebuild_for_reboot t =
   t.freelist_ok <- true;
   t.freelist_note <- "";
-  iter_live t (fun obj -> obj.header_ok <- true)
+  iter_live t (fun obj ->
+      touch obj;
+      obj.header_ok <- true)
 
 let audit t =
   let ok = ref t.freelist_ok in

@@ -89,6 +89,17 @@ type t = {
 
 let cpu_count t = Hw.Machine.num_cpus t.machine
 let frames t = Pfn.frames t.pfn
+
+(* The geometry all size-proportional recovery costs are charged at: the
+   config's pinned geometry when present (reporting latencies for the
+   modelled host), else the simulated machine's own tables. Mechanics
+   always operate on the real tables; only cost accounting uses this. *)
+let geometry t =
+  match t.config.Config.geometry with
+  | Some g -> g
+  | None ->
+    { Config.frames = Pfn.frames t.pfn; cpus = Hw.Machine.num_cpus t.machine }
+
 let domain t domid = Hashtbl.find_opt t.domains domid
 
 let all_domains t =
@@ -328,7 +339,12 @@ let start_vcpus t =
       | Some _ -> ())
     (all_vcpus t)
 
-type setup = One_appvm | Three_appvm
+type setup =
+  | One_appvm
+  | Three_appvm
+  | Tenant_fleet of int
+      (* n small tenant VMs, one vCPU each, round-robin pinned across the
+         non-PrivVM CPUs: the fleet-scale serving scenario *)
 
 (* Boot a target system: PrivVM on CPU 0 plus AppVMs pinned to their own
    CPUs (each VM has one vCPU pinned to a different physical CPU,
@@ -355,7 +371,19 @@ let boot_target t ~setup ~vcpus_per_cpu =
          ~mem_frames:dom_frames);
     ignore
       (create_domain_internal t ~privileged:false ~vcpu_pins:(app_pins 2)
-         ~mem_frames:dom_frames));
+         ~mem_frames:dom_frames)
+  | Tenant_fleet tenants ->
+    (* Many small single-vCPU tenants sharing the non-PrivVM CPUs. Small
+       memory footprint each, so hundreds of tenants fit the campaign
+       frame table with room for post-boot allocation. *)
+    let num_cpus = Hw.Machine.num_cpus t.machine in
+    let tenant_frames = 24 in
+    for i = 0 to tenants - 1 do
+      let cpu = if num_cpus = 1 then 0 else 1 + (i mod (num_cpus - 1)) in
+      ignore
+        (create_domain_internal t ~privileged:false ~vcpu_pins:[ cpu ]
+           ~mem_frames:tenant_frames)
+    done);
   start_vcpus t;
   (* The idle domain, created last (Xen gives it a reserved domid): one
      always-runnable vCPU per CPU that the scheduler alternates with
@@ -466,19 +494,20 @@ let journal_tail t = Obs.Flight.tail t.journal_flight
 
 (* [snapshot] captures a golden image of the mutable hypervisor state;
    [restore] rewinds the same instance back to it in place. Cost model:
-   the page-frame table -- the only O(machine) structure -- is handled
-   copy-on-write inside [Pfn] (each descriptor carries its own golden
-   copy plus a dirty bit and mutators maintain a shared dirty list), so
-   snapshot and restore are O(changed frames) there; everything else
-   (domains, vcpus, locks, timers, per-CPU areas, hardware) is small and
-   constant-size and captured whole.
+   the page-frame table, the heap and the timer heap are handled
+   copy-on-write inside [Pfn] / [Heap] / [Timer_heap] (each descriptor,
+   object and event carries its own golden copy plus a dirty bit and
+   mutators maintain shared dirty lists), so snapshot and restore are
+   O(changed state) there; everything else (domains, vcpus, locks,
+   per-CPU areas, hardware) is small and constant-size and captured
+   whole.
 
    Constraints:
    - One outstanding image per instance: taking a new snapshot refreshes
-     the pfn table's built-in golden copy, invalidating an older image's
-     pfn baseline. Restoring the *most recent* image is repeatable
-     (restore, run, restore again): each restore drains the dirty list,
-     later writes re-dirty.
+     the pfn/heap/timer tables' built-in golden copies, invalidating an
+     older image's baseline. Restoring the *most recent* image is
+     repeatable (restore, run, restore again): each restore drains the
+     dirty lists, later writes re-dirty.
    - Snapshot at quiesce points only: an in-flight hypercall record
      ([vcpu.in_hypercall]) is captured by reference, so interior
      mutation of a record alive at snapshot time (sub-op progress, its
@@ -537,15 +566,6 @@ type domain_image = {
   id_page_lock : lock_image;
 }
 
-type heap_obj_image = { ih_obj : Heap.obj; ih_live : bool; ih_header_ok : bool }
-
-type timer_event_image = {
-  ie_event : Timer_heap.event;
-  ie_deadline : Sim.Time.ns;
-  ie_queued : bool;
-  ie_active : bool;
-}
-
 type percpu_image = {
   ip_local_irq_count : int;
   ip_in_hypercall_depth : int;
@@ -559,25 +579,10 @@ type image = {
   im_config : Config.t;
   im_machine : Hw.Machine.image;
   im_now : Sim.Time.ns;
-  (* Heap: scalars plus per-object field images, ascending oid so the
-     rebuilt table matches the snapshot-time table's insertion order
-     (boot allocates oids ascending and the initial capacity never
-     grows, so reinsertion reproduces iteration order exactly). *)
-  im_heap_next_oid : int;
-  im_heap_freelist_ok : bool;
-  im_heap_freelist_note : string;
-  im_heap_bytes_live : int;
-  im_heap_allocs : int;
-  im_heap_objs : heap_obj_image list;
+  (* Heap and timer-heap golden state lives inside those instances
+     (copy-on-write, refreshed by [snapshot] below), not in the image. *)
   im_static_locks : lock_image list;
   im_percpu : percpu_image array;
-  (* Timer heap: the queued prefix (event refs in heap order) plus field
-     images for every event reachable at snapshot time. *)
-  im_timer_prefix : Timer_heap.event array;
-  im_timer_next_id : int;
-  im_timer_structure_ok : bool;
-  im_timer_recurring : Timer_heap.event list;
-  im_timer_events : timer_event_image list;
   im_runq : Domain.vcpu list array;
   im_curr : Domain.vcpu option array;
   im_domains : domain_image list; (* ascending domid = boot insertion order *)
@@ -679,38 +684,15 @@ let restore_domain im =
 
 let snapshot t =
   Pfn.snapshot t.pfn;
-  let heap_objs =
-    List.sort
-      (fun a b -> compare a.ih_obj.Heap.oid b.ih_obj.Heap.oid)
-      (Hashtbl.fold
-         (fun _ (o : Heap.obj) acc ->
-           { ih_obj = o; ih_live = o.Heap.live; ih_header_ok = o.Heap.header_ok }
-           :: acc)
-         t.heap.Heap.objs [])
-  in
+  Heap.snapshot t.heap;
+  Timer_heap.snapshot t.timers;
   let static_locks = ref [] in
   Spinlock.Segment.iter t.static_segment (fun l ->
       static_locks := capture_lock l :: !static_locks);
-  let timers = t.timers in
-  let prefix = Array.sub timers.Timer_heap.arr 0 timers.Timer_heap.size in
-  let capture_event (e : Timer_heap.event) =
-    {
-      ie_event = e;
-      ie_deadline = e.Timer_heap.deadline;
-      ie_queued = e.Timer_heap.queued;
-      ie_active = e.Timer_heap.active;
-    }
-  in
   {
     im_config = t.config;
     im_machine = Hw.Machine.snapshot t.machine;
     im_now = Sim.Clock.now t.clock;
-    im_heap_next_oid = t.heap.Heap.next_oid;
-    im_heap_freelist_ok = t.heap.Heap.freelist_ok;
-    im_heap_freelist_note = t.heap.Heap.freelist_note;
-    im_heap_bytes_live = t.heap.Heap.bytes_live;
-    im_heap_allocs = t.heap.Heap.allocs;
-    im_heap_objs = heap_objs;
     im_static_locks = !static_locks;
     im_percpu =
       Array.map
@@ -724,18 +706,6 @@ let snapshot t =
             ip_heap_lock = capture_lock p.Percpu.heap_lock;
           })
         t.percpu;
-    im_timer_prefix = prefix;
-    im_timer_next_id = timers.Timer_heap.next_id;
-    im_timer_structure_ok = timers.Timer_heap.structure_ok;
-    im_timer_recurring = timers.Timer_heap.recurring;
-    im_timer_events =
-      (* Field images for every event reachable at snapshot time: the
-         queued prefix plus the recurring registry (overlap is harmless,
-         the same values are written twice on restore). *)
-      Array.fold_left
-        (fun acc e -> capture_event e :: acc)
-        (List.map capture_event timers.Timer_heap.recurring)
-        prefix;
     im_runq = Array.copy t.sched.Sched.runq;
     im_curr = Array.copy t.sched.Sched.curr;
     im_domains = List.map capture_domain (all_domains t);
@@ -757,26 +727,11 @@ let snapshot t =
 
 let restore t (im : image) =
   Pfn.restore t.pfn;
+  Heap.restore t.heap;
+  Timer_heap.restore t.timers;
   t.config <- im.im_config;
   Hw.Machine.restore t.machine im.im_machine;
   t.clock.Sim.Clock.now <- im.im_now;
-  let heap = t.heap in
-  heap.Heap.next_oid <- im.im_heap_next_oid;
-  heap.Heap.freelist_ok <- im.im_heap_freelist_ok;
-  heap.Heap.freelist_note <- im.im_heap_freelist_note;
-  heap.Heap.bytes_live <- im.im_heap_bytes_live;
-  heap.Heap.allocs <- im.im_heap_allocs;
-  (* [Hashtbl.reset] restores initial capacity, and the image is oid-
-     ascending, so reinsertion reproduces the snapshot-time table's
-     iteration order exactly (same contract [reboot_in_place] relies
-     on for reset ≡ fresh boot). *)
-  Hashtbl.reset heap.Heap.objs;
-  List.iter
-    (fun i ->
-      i.ih_obj.Heap.live <- i.ih_live;
-      i.ih_obj.Heap.header_ok <- i.ih_header_ok;
-      Hashtbl.replace heap.Heap.objs i.ih_obj.Heap.oid i.ih_obj)
-    im.im_heap_objs;
   List.iter restore_lock im.im_static_locks;
   Array.iteri
     (fun i (p : Percpu.t) ->
@@ -788,22 +743,6 @@ let restore t (im : image) =
       p.Percpu.saved_guest_fsgs <- s.ip_saved_guest_fsgs;
       restore_lock s.ip_heap_lock)
     t.percpu;
-  let timers = t.timers in
-  let size = Array.length im.im_timer_prefix in
-  (* The backing array only ever grows, so the snapshot prefix always
-     fits; slots past [size] are never read. *)
-  Array.blit im.im_timer_prefix 0 timers.Timer_heap.arr 0 size;
-  timers.Timer_heap.size <- size;
-  timers.Timer_heap.next_id <- im.im_timer_next_id;
-  timers.Timer_heap.structure_ok <- im.im_timer_structure_ok;
-  timers.Timer_heap.recurring <- im.im_timer_recurring;
-  List.iter
-    (fun ie ->
-      let e = ie.ie_event in
-      e.Timer_heap.deadline <- ie.ie_deadline;
-      e.Timer_heap.queued <- ie.ie_queued;
-      e.Timer_heap.active <- ie.ie_active)
-    im.im_timer_events;
   Array.blit im.im_runq 0 t.sched.Sched.runq 0 (Array.length im.im_runq);
   Array.blit im.im_curr 0 t.sched.Sched.curr 0 (Array.length im.im_curr);
   Hashtbl.reset t.domains;

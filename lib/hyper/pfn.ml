@@ -49,6 +49,16 @@ type t = {
   mutable free_head : int; (* cursor for simple free-frame allocation *)
   mutable g_free_head : int; (* free_head at the last snapshot *)
   tracker : tracker;
+  mutable tracking_ok : bool;
+      (* Is the dirty tracking itself trustworthy? The incremental
+         recovery scan walks only the dirty list, which is sound exactly
+         when every write since the last consistent baseline went
+         through {!touch}. A wild write into the tracking structures
+         ({!invalidate_tracking}, e.g. the fault injector's
+         [Pfn_tracker] target) or a recovery attempt that itself died
+         mid-flight clears this; recovery then falls back to the full
+         scan. Re-established by {!snapshot}/{!restore}/{!reset}, which
+         install a fresh consistent baseline. *)
 }
 
 let page_type_name = function
@@ -80,6 +90,7 @@ let create ~frames =
     free_head = 0;
     g_free_head = 0;
     tracker;
+    tracking_ok = true;
   }
 
 let frames t = Array.length t.descs
@@ -106,7 +117,8 @@ let snapshot t =
       d.dirty <- false)
     t.tracker.dirty_list;
   t.tracker.dirty_list <- [];
-  t.g_free_head <- t.free_head
+  t.g_free_head <- t.free_head;
+  t.tracking_ok <- true
 
 (* Rewind every descriptor written since the last snapshot back to its
    golden image. O(changed frames); repeatable (the dirty list is
@@ -121,9 +133,13 @@ let restore t =
       d.dirty <- false)
     t.tracker.dirty_list;
   t.tracker.dirty_list <- [];
-  t.free_head <- t.g_free_head
+  t.free_head <- t.g_free_head;
+  t.tracking_ok <- true
 
 let dirty_count t = List.length t.tracker.dirty_list
+let dirty_descs t = t.tracker.dirty_list
+let tracking_usable t = t.tracking_ok
+let invalidate_tracking t = t.tracking_ok <- false
 
 (* Return every descriptor to its created state and rewind the allocation
    cursor, so a reused table hands out frames in exactly fresh-boot order.
@@ -145,7 +161,8 @@ let reset t =
     t.descs;
   t.tracker.dirty_list <- [];
   t.free_head <- 0;
-  t.g_free_head <- 0
+  t.g_free_head <- 0;
+  t.tracking_ok <- true
 
 (* Allocate a free frame for a domain. Raises if the table is exhausted
    (campaign configurations are sized so this cannot happen in a healthy
@@ -207,37 +224,57 @@ let consistent d =
   | Writable | Page_table | Segdesc | Shared | Xenheap ->
     d.use_count > 0 && (d.use_count <= 1_000_000) && ((not d.validated) || d.use_count > 0)
 
+(* Detect validation-bit / use-counter disagreement on one descriptor
+   and repair it. The repair is a pure function of the descriptor's own
+   fields, so the scans below may visit descriptors in any order (full
+   array sweep, dirty-list walk, per-domain shard) and converge on the
+   same table. Returns whether a repair was made. *)
+let fix_desc d =
+  if consistent d then false
+  else begin
+    touch d;
+    if d.ptype = Free then begin
+      (* A frame marked free must carry no references. *)
+      d.use_count <- 0;
+      d.validated <- false;
+      d.owner <- -1
+    end
+    else if d.use_count <= 0 then begin
+      (* Typed page with no references: return it to the allocator. *)
+      d.use_count <- 0;
+      d.validated <- false;
+      d.ptype <- Free;
+      d.owner <- -1
+    end
+    else if d.use_count > 1_000_000 then begin
+      (* Wild counter value: clamp and drop validation. *)
+      d.use_count <- 1;
+      d.validated <- false
+    end;
+    true
+  end
+
 (* The recovery-time scan: walk every descriptor, detect validation-bit /
    use-counter disagreement and repair it. Returns the number of
    descriptors repaired. Latency is charged by the caller (proportional
    to [frames t]). *)
 let scan_and_fix t =
   let fixed = ref 0 in
-  Array.iter
-    (fun d ->
-      if not (consistent d) then begin
-        incr fixed;
-        touch d;
-        if d.ptype = Free then begin
-          (* A frame marked free must carry no references. *)
-          d.use_count <- 0;
-          d.validated <- false;
-          d.owner <- -1
-        end
-        else if d.use_count <= 0 then begin
-          (* Typed page with no references: return it to the allocator. *)
-          d.use_count <- 0;
-          d.validated <- false;
-          d.ptype <- Free;
-          d.owner <- -1
-        end
-        else if d.use_count > 1_000_000 then begin
-          (* Wild counter value: clamp and drop validation. *)
-          d.use_count <- 1;
-          d.validated <- false
-        end
-      end)
-    t.descs;
+  Array.iter (fun d -> if fix_desc d then incr fixed) t.descs;
+  !fixed
+
+(* The incremental scan: repair only descriptors written since the last
+   golden refresh. Equivalent to [scan_and_fix] whenever the tracking is
+   intact ([tracking_usable]): the baseline was a consistent quiesce
+   point, mutators and wild writes alike mark descriptors dirty, so any
+   descriptor not on the list still holds a consistent value. The dirty
+   list is deliberately NOT drained -- it still backs {!restore}, and
+   every repaired descriptor is already on it ([touch] inside [fix_desc]
+   is a no-op here). Latency is charged by the caller, proportional to
+   [dirty_count t]. *)
+let scan_and_fix_dirty t =
+  let fixed = ref 0 in
+  List.iter (fun d -> if fix_desc d then incr fixed) t.tracker.dirty_list;
   !fixed
 
 let count_inconsistent t =

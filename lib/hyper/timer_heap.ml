@@ -6,7 +6,17 @@
     synchronisation, scheduler ticks, the watchdog's soft tick) are
     re-inserted by their handlers -- so a failure between pop and
     re-insert silently loses them, the damage the "Reactivate recurring
-    timer events" enhancement repairs. *)
+    timer events" enhancement repairs.
+
+    Like {!Pfn} and {!Heap}, the timer heap carries copy-on-write golden
+    state behind {!Hypervisor.snapshot}: each event holds a golden copy
+    of its mutable fields plus a dirty bit, and the heap keeps a golden
+    copy of its occupied prefix (event refs, order included) in a
+    persistent side array. {!snapshot} and {!restore} walk the dirty
+    list plus the occupied prefix -- O(changed events + queue length),
+    never O(allocated capacity) -- and allocate nothing in steady state.
+    External writers (the fault injector's deadline scribbles) must call
+    {!touch} first. *)
 
 type action =
   | Time_sync (* system time calibration, global *)
@@ -29,7 +39,15 @@ type event = {
   action : action;
   mutable queued : bool;
   mutable active : bool; (* an inactive recurring event is "lost" *)
+  (* Golden image of the mutable fields, refreshed by [snapshot]. *)
+  mutable g_deadline : Sim.Time.ns;
+  mutable g_queued : bool;
+  mutable g_active : bool;
+  mutable dirty : bool; (* on the heap's dirty list? *)
+  tracker : tracker; (* back-pointer: mutators see only the event *)
 }
+
+and tracker = { mutable dirty_list : event list }
 
 type t = {
   mutable arr : event array;
@@ -37,14 +55,24 @@ type t = {
   mutable next_id : int;
   mutable structure_ok : bool; (* heap-order integrity *)
   mutable recurring : event list; (* registry of all recurring events *)
+  tracker : tracker;
+  (* Golden copy of the occupied prefix (refs in heap order) plus the
+     structural scalars, refreshed by [snapshot]. *)
+  mutable g_arr : event array;
+  mutable g_size : int;
+  mutable g_next_id : int;
+  mutable g_structure_ok : bool;
+  mutable g_recurring : event list;
 }
 
-(* The backing array is sized eagerly: campaign workers reuse one heap
-   across thousands of runs ([reset] keeps the array), and growing it
+(* The backing arrays are sized eagerly: campaign workers reuse one heap
+   across thousands of runs ([reset] keeps the arrays), and growing them
    lazily would make the first run on each worker allocate more than the
    rest -- breaking the jobs-invariance of the allocation profiler's
    phase counters. 64 slots cover every configuration the campaigns use
    (a few recurring events per CPU plus singleshot vCPU timers). *)
+let dummy_tracker = { dirty_list = [] }
+
 let dummy_event =
   {
     id = -1;
@@ -53,6 +81,11 @@ let dummy_event =
     action = Generic_oneshot;
     queued = false;
     active = false;
+    g_deadline = 0;
+    g_queued = false;
+    g_active = false;
+    dirty = false;
+    tracker = dummy_tracker;
   }
 
 let create () =
@@ -62,18 +95,83 @@ let create () =
     next_id = 0;
     structure_ok = true;
     recurring = [];
+    tracker = { dirty_list = [] };
+    g_arr = Array.make 64 dummy_event;
+    g_size = 0;
+    g_next_id = 0;
+    g_structure_ok = true;
+    g_recurring = [];
   }
 
 let size t = t.size
 
+(* Mark an event as modified since the last snapshot. Exported: the
+   fault injector scribbles on deadlines directly and must call this
+   first, like {!Pfn.touch}. *)
+let touch e =
+  if not e.dirty then begin
+    e.dirty <- true;
+    e.tracker.dirty_list <- e :: e.tracker.dirty_list
+  end
+
+let dirty_count t = List.length t.tracker.dirty_list
+
+(* Refresh the golden image: per-event fields for everything touched
+   since the previous snapshot, plus the occupied prefix and structural
+   scalars. O(changed events + queue length); allocates only if the
+   queue outgrew the golden array's capacity. *)
+let snapshot t =
+  List.iter
+    (fun e ->
+      e.g_deadline <- e.deadline;
+      e.g_queued <- e.queued;
+      e.g_active <- e.active;
+      e.dirty <- false)
+    t.tracker.dirty_list;
+  t.tracker.dirty_list <- [];
+  if Array.length t.g_arr < t.size then
+    t.g_arr <- Array.make (Array.length t.arr) dummy_event;
+  Array.blit t.arr 0 t.g_arr 0 t.size;
+  t.g_size <- t.size;
+  t.g_next_id <- t.next_id;
+  t.g_structure_ok <- t.structure_ok;
+  t.g_recurring <- t.recurring
+
+(* Rewind to the last snapshot: per-event fields for everything touched
+   since, then the queue prefix and scalars. Repeatable (the dirty list
+   is drained; later writes re-dirty). *)
+let restore t =
+  List.iter
+    (fun e ->
+      e.deadline <- e.g_deadline;
+      e.queued <- e.g_queued;
+      e.active <- e.g_active;
+      e.dirty <- false)
+    t.tracker.dirty_list;
+  t.tracker.dirty_list <- [];
+  (* [arr] never shrinks, so its capacity covers any historical size. *)
+  Array.blit t.g_arr 0 t.arr 0 t.g_size;
+  t.size <- t.g_size;
+  t.next_id <- t.g_next_id;
+  t.structure_ok <- t.g_structure_ok;
+  t.recurring <- t.g_recurring
+
 (* Empty the heap and drop the recurring registry, as [create] would; the
-   backing array keeps its capacity (entries beyond [size] are never
-   read), so reuse allocates nothing. *)
+   backing arrays keep their capacity (entries beyond [size] are never
+   read), so reuse allocates nothing. The golden state is reset too --
+   after a reset the heap looks exactly as created, snapshot baseline
+   included. *)
 let reset t =
   t.size <- 0;
   t.next_id <- 0;
   t.structure_ok <- true;
-  t.recurring <- []
+  t.recurring <- [];
+  List.iter (fun e -> e.dirty <- false) t.tracker.dirty_list;
+  t.tracker.dirty_list <- [];
+  t.g_size <- 0;
+  t.g_next_id <- 0;
+  t.g_structure_ok <- true;
+  t.g_recurring <- []
 
 let swap t i j =
   let tmp = t.arr.(i) in
@@ -108,6 +206,7 @@ let push_event t event =
     Array.blit t.arr 0 narr 0 t.size;
     t.arr <- narr
   end;
+  touch event;
   t.arr.(t.size) <- event;
   event.queued <- true;
   t.size <- t.size + 1;
@@ -122,8 +221,14 @@ let add t ~deadline ?period action =
       action;
       queued = false;
       active = true;
+      g_deadline = deadline;
+      g_queued = false;
+      g_active = false; (* did not exist at the last snapshot *)
+      dirty = false;
+      tracker = t.tracker;
     }
   in
+  touch event;
   t.next_id <- t.next_id + 1;
   if period <> None then t.recurring <- event :: t.recurring;
   push_event t event;
@@ -142,6 +247,7 @@ let pop t =
       t.arr.(0) <- t.arr.(t.size);
       sift_down t 0
     end;
+    touch top;
     top.queued <- false;
     Some top
   end
@@ -158,6 +264,7 @@ let requeue t event ~now =
   match event.period with
   | None -> ()
   | Some p ->
+    touch event;
     event.deadline <- now + p;
     event.active <- true;
     push_event t event
@@ -172,6 +279,7 @@ let reactivate_recurring t ~now =
   List.iter
     (fun e ->
       if not e.queued then begin
+        touch e;
         (match e.period with
         | Some p -> e.deadline <- now + p
         | None -> ());
@@ -195,6 +303,7 @@ let rebuild_for_reboot t ~now =
   t.size <- 0;
   List.iter
     (fun e ->
+      touch e;
       e.queued <- false;
       (match e.period with Some p -> e.deadline <- now + p | None -> ());
       e.active <- true;

@@ -21,6 +21,7 @@ type target =
   | Guest_frame (* guest-owned memory: at most one VM affected *)
   | Heap_header (* live heap object's header canary smashed *)
   | Pfn_type_scramble (* pfn descriptor type field bit-flipped *)
+  | Pfn_tracker (* dirty-tracking metadata smashed: incremental scan unusable *)
 
 let name = function
   | Pfn_validated_flip -> "pfn_validated_flip"
@@ -36,6 +37,7 @@ let name = function
   | Guest_frame -> "guest_frame"
   | Heap_header -> "heap_header"
   | Pfn_type_scramble -> "pfn_type_scramble"
+  | Pfn_tracker -> "pfn_tracker"
 
 (* The full target space in a fixed order, indexable by the fuzzer's
    directed faults ({!Fault.directive.d_target}). Append-only: corpus
@@ -56,6 +58,7 @@ let all =
     Guest_frame;
     Heap_header;
     Pfn_type_scramble;
+    Pfn_tracker;
   |]
 
 let n_targets = Array.length all
@@ -111,6 +114,7 @@ let apply hv rng target =
     let timers = hv.Hypervisor.timers in
     (match Timer_heap.peek timers with
     | Some e ->
+      Timer_heap.touch e;
       e.Timer_heap.deadline <-
         e.Timer_heap.deadline + Sim.Time.us (Sim.Rng.int rng 5000)
     | None -> ())
@@ -149,7 +153,7 @@ let apply hv rng target =
     | [] -> ()
     | l ->
       let o = List.nth l (Sim.Rng.int rng (List.length l)) in
-      o.Heap.header_ok <- false)
+      Heap.corrupt_header o)
   | Pfn_type_scramble ->
     (* Bit-flip in a pfn descriptor's type field: the frame's recorded
        type no longer matches its references. [scan_and_fix] repairs the
@@ -170,3 +174,10 @@ let apply hv rng target =
       | Pfn.Segdesc -> Pfn.Shared
       | Pfn.Shared -> Pfn.Segdesc
       | Pfn.Xenheap -> Pfn.Free)
+  | Pfn_tracker ->
+    (* A wild write lands in the dirty-tracking metadata itself. No
+       descriptor value changes, but the incremental consistency scan can
+       no longer trust the dirty list to cover all damage -- recovery
+       must fall back to the full scan. Snapshot restores re-establish a
+       trusted baseline, so a rewind clears it. *)
+    Pfn.invalidate_tracking hv.Hypervisor.pfn

@@ -854,6 +854,14 @@ let clone_into ?reseed ?cfg (src : clone_source) : outcome =
   let w = src.cs_worker in
   Obs.Recorder.alloc_begin st.hv.Hypervisor.obs;
   Hypervisor.restore st.hv src.cs_image;
+  (* The restore rewinds [hv.config] to the image's. Recovery-path-only
+     flags from the variant config are legitimate post-trigger variation
+     (they cannot affect the shared warmup), so re-apply them here. *)
+  st.hv.Hypervisor.config <-
+    {
+      st.hv.Hypervisor.config with
+      Config.incremental_scan = st.cfg.hv_config.Config.incremental_scan;
+    };
   let r = st.hv.Hypervisor.obs in
   Obs.Recorder.reset r;
   Obs.Metrics.restore r.Obs.Recorder.metrics src.cs_metrics;

@@ -34,6 +34,13 @@ type t = {
   journal_undone : Metrics.counter;
   timer_fires : Metrics.counter;
   recovery_lock_releases : Metrics.counter;
+  (* Which consistency-scan path a microreset took: dirty-list-driven
+     incremental or the full table walk (chosen per recovery, including
+     the forced fallback after a recovery attempt died). Registered
+     eagerly like the outcome counters, and surfaced as fuzz coverage
+     points via [Coverage.points]. *)
+  scan_incremental : Metrics.counter;
+  scan_full : Metrics.counter;
   faults_injected : Metrics.counter;
   detections : Metrics.counter;
   recovery_latency_ms : Metrics.histogram;
@@ -90,6 +97,8 @@ let create ?(capacity = 4096) ?(min_level = Event.Info) () =
     journal_undone = Metrics.counter metrics "journal.entries_undone";
     timer_fires = Metrics.counter metrics "timer.fires";
     recovery_lock_releases = Metrics.counter metrics "recovery.locks_released";
+    scan_incremental = Metrics.counter metrics "recovery.pfn_scan.incremental";
+    scan_full = Metrics.counter metrics "recovery.pfn_scan.full";
     faults_injected = Metrics.counter metrics "inject.faults";
     detections = Metrics.counter metrics "detect.detections";
     recovery_latency_ms =

@@ -26,6 +26,9 @@ type outcome = {
   latency : Sim.Time.ns; (* simulated end-to-end recovery latency *)
   breakdown : Hyper.Latency_model.breakdown;
   repairs : repairs;
+  scan_mode : Microreset.scan_mode option;
+      (* which consistency-scan path a microreset took; [None] for
+         ReHype *)
 }
 
 val recover :
@@ -34,4 +37,7 @@ val recover :
   enh:Enhancement.set ->
   detected_on:int ->
   outcome
-(** Raises [Hyper.Crash.Hypervisor_crash] when recovery itself fails. *)
+(** Raises [Hyper.Crash.Hypervisor_crash] when recovery itself fails.
+    A recovery attempt that dies invalidates the pfn dirty tracking
+    before the exception propagates, so a later attempt on the same
+    instance automatically falls back to the full consistency scan. *)

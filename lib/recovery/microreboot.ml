@@ -23,7 +23,10 @@ type result = {
 let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
   Common.check_recovery_handler hv;
   let log = Common.make_log ~track:detected_on ~mechanism:"ReHype" hv in
-  let frames = Hypervisor.frames hv in
+  (* Costs are charged at the configured geometry; mechanics operate on
+     the real (possibly scaled-down) simulated tables. *)
+  let geo = Hypervisor.geometry hv in
+  let frames = geo.Config.frames in
   let cpus = Hypervisor.cpu_count hv in
   let machine = hv.Hypervisor.machine in
 
@@ -49,7 +52,7 @@ let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
   Common.timed log "Early initialize of the boot CPU" Latency_model.reboot_early_boot_cpu
     (fun () -> Hw.Machine.reset_for_reboot machine);
   Common.timed log "Initialize and wait for other CPUs to come online"
-    (Latency_model.reboot_cpu_online_per_cpu * (cpus - 1))
+    (Latency_model.reboot_cpu_online_per_cpu * (geo.Config.cpus - 1))
     (fun () ->
       Hw.Machine.iter_cpus machine (fun c -> c.Hw.Cpu.state <- Hw.Cpu.Halted));
   let ioapic_restored = ref false in

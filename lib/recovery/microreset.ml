@@ -10,6 +10,18 @@
 
 open Hyper
 
+(* Which consistency-scan path a recovery took. Incremental walks only
+   the copy-on-write dirty lists (O(damaged state)); Full walks the
+   whole structures (O(machine)). The repaired state is identical either
+   way whenever the tracking is intact -- the per-element repairs are
+   pure functions of the element, and every write since the last
+   consistent baseline marked its element dirty. *)
+type scan_mode = Full_scan | Incremental_scan
+
+let scan_mode_name = function
+  | Full_scan -> "full"
+  | Incremental_scan -> "incremental"
+
 type result = {
   breakdown : Latency_model.breakdown;
   heap_locks_released : int;
@@ -17,6 +29,7 @@ type result = {
   sched_fixes : int;
   pfn_fixed : int;
   recurring_reactivated : int;
+  scan_mode : scan_mode;
 }
 
 (* Perform microreset recovery. Raises [Crash.Hypervisor_crash] if the
@@ -24,7 +37,19 @@ type result = {
 let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
   Common.check_recovery_handler hv;
   let log = Common.make_log ~track:detected_on ~mechanism:"NiLiHype" hv in
-  let cpus = Hypervisor.cpu_count hv in
+  (* Costs are charged at the configured geometry; mechanics operate on
+     the real (possibly scaled-down) simulated tables. *)
+  let geo = Hypervisor.geometry hv in
+  let cpus = geo.Config.cpus in
+  (* Decide the scan path up front: the recovery's own repairs dirty
+     state as they go, and the decision must not depend on them. *)
+  let incremental =
+    hv.Hypervisor.config.Config.incremental_scan
+    && Pfn.tracking_usable hv.Hypervisor.pfn
+  in
+  let heap_dirty = Heap.dirty_count hv.Hypervisor.heap in
+  let timer_dirty = Timer_heap.dirty_count hv.Hypervisor.timers in
+  let pfn_dirty = Pfn.dirty_count hv.Hypervisor.pfn in
   let has e =
     let present = Enhancement.mem enh e in
     if present then
@@ -53,7 +78,10 @@ let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
   let sched_fixes = ref 0 in
   let recurring_reactivated = ref 0 in
   Common.timed log "Apply state-consistency enhancements"
-    Latency_model.microreset_enhancements (fun () ->
+    (if incremental then
+       Latency_model.microreset_enhancements_dirty ~heap_dirty ~timer_dirty
+     else Latency_model.microreset_enhancements)
+    (fun () ->
       if has Enhancement.Clear_irq_count then
         Array.iter Percpu.clear_irq_count hv.Hypervisor.percpu;
       if has Enhancement.Release_heap_locks then
@@ -76,13 +104,26 @@ let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
   Common.note_lock_release hv ~cpu:detected_on ~name:"static"
     !static_locks_released;
 
-  (* Phase 3: page-frame descriptor consistency scan -- the dominant
-     latency component (21 ms for 8 GB), proportional to memory size. *)
+  (* Phase 3: page-frame descriptor consistency scan. The full walk is
+     the dominant latency component (21 ms for 8 GB), proportional to
+     memory size; the incremental walk visits only descriptors written
+     since the last golden refresh -- O(damaged state + workload drift)
+     -- and repairs exactly the same descriptors (clean ones are
+     consistent by construction of the baseline). *)
   let pfn_fixed = ref 0 in
-  if has Enhancement.Pfn_consistency_scan then
-    Common.timed log "Restore and check consistency of page frame entries"
-      (Latency_model.pfn_scan ~frames:(Hypervisor.frames hv))
-      (fun () -> pfn_fixed := Pfn.scan_and_fix hv.Hypervisor.pfn);
+  if has Enhancement.Pfn_consistency_scan then begin
+    Obs.Metrics.incr
+      (if incremental then hv.Hypervisor.obs.Obs.Recorder.scan_incremental
+       else hv.Hypervisor.obs.Obs.Recorder.scan_full);
+    if incremental then
+      Common.timed log "Incremental consistency scan of dirty page frame entries"
+        (Latency_model.pfn_scan_dirty ~dirty:pfn_dirty)
+        (fun () -> pfn_fixed := Pfn.scan_and_fix_dirty hv.Hypervisor.pfn)
+    else
+      Common.timed log "Restore and check consistency of page frame entries"
+        (Latency_model.pfn_scan ~frames:geo.Config.frames)
+        (fun () -> pfn_fixed := Pfn.scan_and_fix hv.Hypervisor.pfn)
+  end;
 
   (* Phase 4: reprogram hardware timers and resume normal operation. *)
   Common.timed log "Reprogram timers, resume normal operation"
@@ -100,6 +141,7 @@ let recover (hv : Hypervisor.t) ~(enh : Enhancement.set) ~detected_on =
     sched_fixes = !sched_fixes;
     pfn_fixed = !pfn_fixed;
     recurring_reactivated = !recurring_reactivated;
+    scan_mode = (if incremental then Incremental_scan else Full_scan);
   }
 
 (* The Table III presentation: every step taking more than 1 ms is

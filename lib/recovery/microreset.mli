@@ -6,6 +6,16 @@
     entire global state is reused, which bounds recovery latency at
     ~22 ms (dominated by the page-frame consistency scan). *)
 
+type scan_mode = Full_scan | Incremental_scan
+(** Which consistency-scan path the recovery took: the O(machine) full
+    table walk, or the O(damaged state) dirty-list walk (available when
+    [Hyper.Config.incremental_scan] is set and the dirty tracking is
+    intact; recovery falls back to [Full_scan] otherwise, e.g. after a
+    recovery attempt that itself died). The repaired state is identical
+    either way. *)
+
+val scan_mode_name : scan_mode -> string
+
 type result = {
   breakdown : Hyper.Latency_model.breakdown; (* per-step simulated time *)
   heap_locks_released : int;
@@ -13,6 +23,7 @@ type result = {
   sched_fixes : int;
   pfn_fixed : int;
   recurring_reactivated : int;
+  scan_mode : scan_mode;
 }
 
 val recover :
